@@ -1,0 +1,179 @@
+package repro
+
+// One benchmark per experiment (E1-E10, the repo's "evaluation section";
+// the paper publishes no tables or figures, see DESIGN.md) plus
+// micro-benchmarks for the hot paths: distance evaluation, proposal
+// formulation, winner selection, and a full end-to-end formation.
+//
+// Experiment benchmarks run the Quick configuration once per iteration;
+// run cmd/qosbench for the full-size tables.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/qos"
+	"repro/internal/radio"
+	"repro/internal/resource"
+	"repro/internal/workload"
+	"repro/internal/xp"
+)
+
+func benchExperiment(b *testing.B, run func(xp.Config) (*metrics.Table, error)) {
+	b.Helper()
+	cfg := xp.Config{Seed: 1, Repeats: 1, Quick: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl, err := run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE1AcceptanceVsNodes(b *testing.B)  { benchExperiment(b, xp.E1AcceptanceVsNodes) }
+func BenchmarkE2UtilityVsLoad(b *testing.B)      { benchExperiment(b, xp.E2UtilityVsLoad) }
+func BenchmarkE3MessageOverhead(b *testing.B)    { benchExperiment(b, xp.E3MessageOverhead) }
+func BenchmarkE4CoalitionSize(b *testing.B)      { benchExperiment(b, xp.E4CoalitionSize) }
+func BenchmarkE5HeuristicVsOptimal(b *testing.B) { benchExperiment(b, xp.E5HeuristicVsOptimal) }
+func BenchmarkE6SelectionAblation(b *testing.B)  { benchExperiment(b, xp.E6SelectionAblation) }
+func BenchmarkE7FailureReconfig(b *testing.B)    { benchExperiment(b, xp.E7FailureReconfig) }
+func BenchmarkE8Heterogeneity(b *testing.B)      { benchExperiment(b, xp.E8Heterogeneity) }
+func BenchmarkE9DistanceConsistency(b *testing.B) {
+	benchExperiment(b, xp.E9DistanceConsistency)
+}
+func BenchmarkE10LiveVsSim(b *testing.B)          { benchExperiment(b, xp.E10LiveVsSim) }
+func BenchmarkE11MobilityStress(b *testing.B)     { benchExperiment(b, xp.E11MobilityStress) }
+func BenchmarkE12LossyRadio(b *testing.B)         { benchExperiment(b, xp.E12LossyRadio) }
+func BenchmarkE13ConcurrentServices(b *testing.B) { benchExperiment(b, xp.E13ConcurrentServices) }
+func BenchmarkE14EnergyDepletion(b *testing.B)    { benchExperiment(b, xp.E14EnergyDepletion) }
+func BenchmarkE15QualityUpgrade(b *testing.B)     { benchExperiment(b, xp.E15QualityUpgrade) }
+
+// --- micro-benchmarks ---
+
+// BenchmarkDistanceEval measures one Section 6 multi-attribute
+// evaluation (the organizer's inner loop).
+func BenchmarkDistanceEval(b *testing.B) {
+	spec := workload.VideoSpec()
+	req := workload.SurveillanceRequest()
+	eval, err := qos.NewEvaluator(spec, &req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	level := qos.Level{
+		{Dim: "video", Attr: "frame_rate"}:    qos.Int(7),
+		{Dim: "video", Attr: "color_depth"}:   qos.Int(1),
+		{Dim: "audio", Attr: "sampling_rate"}: qos.Int(8),
+		{Dim: "audio", Attr: "sample_bits"}:   qos.Int(8),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Distance(level); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFormulate measures the Section 5 degradation heuristic under
+// moderate scarcity (the provider's inner loop).
+func BenchmarkFormulate(b *testing.B) {
+	spec := workload.VideoSpec()
+	req := workload.StreamingRequest("b")
+	dm := workload.VideoDemand(1)
+	capacity := workload.PDA.Capacity
+	avail := func(d resource.Vector) bool { return d.Fits(capacity) }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Formulate(spec, &req, dm, avail, 4, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFormulateExhaustive measures the optimal formulator that E5
+// compares against.
+func BenchmarkFormulateExhaustive(b *testing.B) {
+	spec := workload.VideoSpec()
+	req := workload.StreamingRequest("b")
+	dm := workload.VideoDemand(1)
+	capacity := workload.PDA.Capacity
+	avail := func(d resource.Vector) bool { return d.Fits(capacity) }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.FormulateExhaustive(spec, &req, dm, avail, 3, nil, 1<<21); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSelectWinners measures winner selection over 64 candidates x
+// 8 tasks with the full three-criteria policy.
+func BenchmarkSelectWinners(b *testing.B) {
+	var tasks []string
+	cands := make(map[string][]core.Candidate)
+	level := qos.Level{{Dim: "d", Attr: "a"}: qos.Int(1)}
+	for t := 0; t < 8; t++ {
+		tid := string(rune('a' + t))
+		tasks = append(tasks, tid)
+		for n := 0; n < 64; n++ {
+			cands[tid] = append(cands[tid], core.Candidate{
+				Node: radio.NodeID(n), TaskID: tid, Level: level,
+				Distance: float64(n%7) * 0.03, CommCost: float64(n%5) * 0.01, Copies: 2 + n%3,
+			})
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel := core.SelectWinners(tasks, cands, core.DefaultPolicy)
+		if len(sel.Assigned) == 0 {
+			b.Fatal("no assignment")
+		}
+	}
+}
+
+// BenchmarkFormation measures one complete negotiation (CFP through
+// awards and acks) on a 16-node simulated neighbourhood.
+func BenchmarkFormation(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		scfg := workload.DefaultScenario(int64(i))
+		sc, err := workload.Build(scfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		svc := workload.StreamService("bench", 4, 1.0)
+		done := false
+		if _, err := sc.Cluster.Submit(0, 0, svc, core.DefaultOrganizerConfig, func(*core.Result) {
+			done = true
+		}); err != nil {
+			b.Fatal(err)
+		}
+		sc.Cluster.Run(10)
+		if !done {
+			b.Fatal("formation incomplete")
+		}
+	}
+}
+
+// BenchmarkReservationChurn measures the resource substrate under
+// reserve/release pressure.
+func BenchmarkReservationChurn(b *testing.B) {
+	set := resource.NewSet(workload.Laptop.Capacity)
+	demand := resource.V(resource.KV{K: resource.CPU, A: 10}, resource.KV{K: resource.Memory, A: 4})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := set.Reserve("bench", demand); err != nil {
+			b.Fatal(err)
+		}
+		set.Release("bench")
+	}
+}

@@ -1,0 +1,63 @@
+// Command qosbench regenerates every experiment table of the
+// reproduction (this repository's "evaluation section"; the paper itself
+// publishes no tables or figures — see DESIGN.md).
+//
+// Usage:
+//
+//	qosbench [-seed N] [-repeats N] [-quick] [-csv] [-run E1,E7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/xp"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "base random seed")
+	reps := flag.Int("repeats", 5, "seeds averaged per sweep point")
+	quick := flag.Bool("quick", false, "shrink sweeps for a fast pass")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	flag.Parse()
+
+	cfg := xp.Config{Seed: *seed, Repeats: *reps, Quick: *quick}
+	exps := xp.All()
+	if *run != "" {
+		var filtered []xp.Experiment
+		for _, id := range strings.Split(*run, ",") {
+			e, err := xp.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			filtered = append(filtered, e)
+		}
+		exps = filtered
+	}
+
+	failed := 0
+	for _, e := range exps {
+		start := time.Now()
+		table, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s %s: %v\n", e.ID, e.Title, err)
+			failed++
+			continue
+		}
+		fmt.Printf("# %s — %s\n# claim: %s\n", e.ID, e.Title, e.Claim)
+		if *csv {
+			fmt.Print(table.CSV())
+		} else {
+			fmt.Print(table.String())
+		}
+		fmt.Printf("# elapsed: %v\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,158 @@
+// Command qosim runs a single coalition-formation scenario and prints
+// the outcome: who serves which task, at which QoS level, at what
+// distance from the user's preferences, plus negotiation statistics.
+//
+// Usage:
+//
+//	qosim [-seed N] [-nodes N] [-tasks N] [-scale F] [-service kind]
+//	      [-mobile] [-loss F] [-fail N] [-verbose]
+//
+// Service kinds: stream (default), surveillance, offload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/qos"
+	"repro/internal/task"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "scenario seed")
+	nodes := flag.Int("nodes", 12, "population size")
+	tasks := flag.Int("tasks", 4, "tasks in the requested service")
+	scale := flag.Float64("scale", 1.5, "demand scale factor")
+	kind := flag.String("service", "stream", "service template: stream | surveillance | offload")
+	mobile := flag.Bool("mobile", false, "random-waypoint mobility")
+	loss := flag.Float64("loss", 0, "radio loss probability [0,1)")
+	fail := flag.Int("fail", 0, "kill N coalition members at t=5s")
+	verbose := flag.Bool("verbose", false, "print per-node detail")
+	showTrace := flag.Bool("trace", false, "print the protocol event timeline")
+	flag.Parse()
+
+	ring := trace.NewRing(4096)
+	scfg := workload.DefaultScenario(*seed)
+	scfg.Nodes = *nodes
+	scfg.Mobile = *mobile
+	scfg.Radio.LossProb = *loss
+	if *showTrace {
+		scfg.Provider.Trace = ring
+	}
+	sc, err := workload.Build(scfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	var svc *task.Service
+	switch *kind {
+	case "stream":
+		svc = workload.StreamService("svc", *tasks, *scale)
+	case "surveillance":
+		svc = workload.SurveillanceService("svc", *scale)
+	case "offload":
+		svc = workload.OffloadService("svc", *tasks, *scale)
+	default:
+		fatal(fmt.Errorf("unknown service kind %q", *kind))
+	}
+
+	if *verbose {
+		fmt.Println("population:")
+		for _, id := range sc.Cluster.Nodes() {
+			n := sc.Cluster.Node(id)
+			pos, _ := sc.Cluster.Medium.PosOf(id)
+			fmt.Printf("  node %2d %-12s at (%3.0f,%3.0f)  capacity %v\n",
+				id, n.Profile, pos.X, pos.Y, n.Res.Capacity())
+		}
+		fmt.Println()
+	}
+
+	ocfg := core.DefaultOrganizerConfig
+	if *showTrace {
+		ocfg.Trace = ring
+	}
+	var results []*core.Result
+	org, err := sc.Cluster.Submit(0, 0, svc, ocfg, func(r *core.Result) {
+		results = append(results, r)
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *fail > 0 {
+		sc.Cluster.Eng.At(5, func() {
+			if len(results) == 0 {
+				return
+			}
+			killed := 0
+			for _, m := range results[0].Members() {
+				if m == 0 {
+					continue
+				}
+				sc.Cluster.FailNode(m)
+				fmt.Printf("t=5.0s  node %d failed\n", m)
+				killed++
+				if killed == *fail {
+					return
+				}
+			}
+		})
+	}
+	horizon := 10.0
+	if *fail > 0 {
+		horizon = 40
+	}
+	sc.Cluster.Run(horizon)
+
+	if len(results) == 0 {
+		fatal(fmt.Errorf("formation did not complete"))
+	}
+	for i, r := range results {
+		label := "formation"
+		if i > 0 {
+			label = fmt.Sprintf("reformation %d", i)
+		}
+		fmt.Printf("%s: %d/%d tasks in %d round(s), %.0f ms, %d proposals\n",
+			label, len(r.Assigned), len(svc.Tasks), r.Rounds, r.FormationTime*1000, r.ProposalsReceived)
+	}
+	final := org.Snapshot()
+	fmt.Println("\nfinal allocation:")
+	ids := make([]string, 0, len(final))
+	for tid := range final {
+		ids = append(ids, tid)
+	}
+	sort.Strings(ids)
+	for _, tid := range ids {
+		a := final[tid]
+		n := sc.Cluster.Node(a.Node)
+		eval, _ := qos.NewEvaluator(svc.Spec, &svc.Task(tid).Request)
+		fmt.Printf("  %-8s -> node %2d (%-12s) distance %.4f  utility %.3f\n",
+			tid, a.Node, n.Profile, a.Distance, eval.Utility(a.Distance))
+		if *verbose {
+			fmt.Printf("           level %v\n", a.Level)
+		}
+	}
+	for _, t := range svc.Tasks {
+		if _, ok := final[t.ID]; !ok {
+			fmt.Printf("  %-8s UNSERVED\n", t.ID)
+		}
+	}
+	st := sc.Cluster.Medium.Stats
+	fmt.Printf("\nradio: %d broadcasts, %d unicasts, %d deliveries, %d drops, %.1f KiB\n",
+		st.Broadcasts, st.Unicasts, st.Deliveries, st.Drops, float64(st.Bytes)/1024)
+	if org.Failures > 0 {
+		fmt.Printf("monitor: %d failure(s) detected, %d reconfiguration(s)\n", org.Failures, org.Reconfigurations)
+	}
+	if *showTrace {
+		fmt.Printf("\nprotocol timeline (%d events):\n%s", ring.Total(), ring.String())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qosim:", err)
+	os.Exit(1)
+}

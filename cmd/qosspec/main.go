@@ -1,0 +1,108 @@
+// Command qosspec validates and inspects QoS specs and service requests
+// in the repo's JSON wire format, and can evaluate a concrete proposal
+// against a request with the Section 6 distance function.
+//
+// Usage:
+//
+//	qosspec -spec file.json                  validate and pretty-print a spec
+//	qosspec -spec file.json -request r.json  validate a request against the spec
+//	qosspec -emit-example                    print the paper's Section 3 spec +
+//	                                         Section 3.1 request as JSON
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/qos"
+	"repro/internal/workload"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "path to a spec JSON file")
+	reqPath := flag.String("request", "", "path to a request JSON file (requires -spec)")
+	emit := flag.Bool("emit-example", false, "emit the paper's example spec and request")
+	flag.Parse()
+
+	switch {
+	case *emit:
+		emitExample()
+	case *specPath != "":
+		inspect(*specPath, *reqPath)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func emitExample() {
+	spec := workload.VideoSpec()
+	sb, err := qos.EncodeSpec(spec)
+	if err != nil {
+		fatal(err)
+	}
+	req := workload.SurveillanceRequest()
+	rb, err := qos.EncodeRequest(&req)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("// spec (paper Section 3):")
+	fmt.Println(string(sb))
+	fmt.Println("// request (paper Section 3.1):")
+	fmt.Println(string(rb))
+}
+
+func inspect(specPath, reqPath string) {
+	sb, err := os.ReadFile(specPath)
+	if err != nil {
+		fatal(err)
+	}
+	spec, err := qos.DecodeSpec(sb)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("spec %q: %d dimensions, %d dependencies — OK\n", spec.Name, len(spec.Dimensions), len(spec.Deps))
+	for _, d := range spec.Dimensions {
+		fmt.Printf("  %s (%s)\n", d.ID, d.Name)
+		for _, a := range d.Attributes {
+			dom := a.Domain
+			if dom.Kind == qos.Discrete {
+				fmt.Printf("    %-16s %s %s, %d values (quality index order)\n", a.ID, dom.Kind, dom.Type, len(dom.Values))
+			} else {
+				fmt.Printf("    %-16s %s %s [%g, %g]\n", a.ID, dom.Kind, dom.Type, dom.Min, dom.Max)
+			}
+		}
+	}
+	if reqPath == "" {
+		return
+	}
+	rb, err := os.ReadFile(reqPath)
+	if err != nil {
+		fatal(err)
+	}
+	req, err := qos.DecodeRequest(rb)
+	if err != nil {
+		fatal(err)
+	}
+	if err := req.Validate(spec); err != nil {
+		fatal(err)
+	}
+	eval, err := qos.NewEvaluator(spec, req)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("request %q: valid against %q\n", req.Service, spec.Name)
+	fmt.Printf("  preferred level: %v\n", req.Preferred())
+	fmt.Printf("  max distance:    %.4f\n", eval.MaxDistance())
+	ld, err := qos.BuildLadder(spec, req, qos.DefaultGridSteps)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  degradation space: %d candidate levels over %d attributes\n", ld.Combinations(), ld.Len())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qosspec:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+// Quickstart: the smallest end-to-end use of the library.
+//
+// Five heterogeneous wireless nodes stand near each other; the phone
+// (node 0) requests a 2-task video streaming service it cannot serve
+// alone; a coalition forms and the program prints who serves what, at
+// which QoS level, and how far each level sits from the user's
+// preferences.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/radio"
+	"repro/internal/workload"
+)
+
+func main() {
+	// A cluster is a deterministic simulated neighbourhood: a seeded
+	// discrete-event engine plus a unit-disk radio medium.
+	cluster := core.NewCluster(1, radio.Config{ProcDelay: 0.001}, core.DefaultProviderConfig)
+
+	// Node 0 is a weak phone; its neighbours are stronger devices.
+	profiles := []workload.Profile{
+		workload.Phone, workload.PDA, workload.Laptop, workload.PDA, workload.Laptop,
+	}
+	for i, p := range profiles {
+		spec := workload.NodeSpecFor(radio.NodeID(i), p, core.GridPlacement(i, len(profiles), 15))
+		if _, err := cluster.AddNode(spec); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// A service = QoS spec + tasks with preference-ordered requests and
+	// demand models (paper Sections 3 and 4.1).
+	svc := workload.StreamService("demo", 2, 1.5)
+
+	// Submit at the phone. The phone's QoS Provider becomes the
+	// Negotiation Organizer: it broadcasts the service description,
+	// collects multi-attribute proposals, evaluates them with the
+	// Section 6 distance and awards tasks (Section 4.2).
+	var result *core.Result
+	org, err := cluster.Submit(0, 0, svc, core.DefaultOrganizerConfig, func(r *core.Result) {
+		if result == nil {
+			result = r
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster.Run(5)
+
+	if result == nil {
+		log.Fatal("formation did not complete")
+	}
+	fmt.Printf("coalition for %q formed in %d round(s), %.0f ms of negotiation\n",
+		result.ServiceID, result.Rounds, result.FormationTime*1000)
+	for _, tid := range []string{"t0", "t1"} {
+		a, ok := result.Assigned[tid]
+		if !ok {
+			fmt.Printf("  %s: UNSERVED\n", tid)
+			continue
+		}
+		node := cluster.Node(a.Node)
+		fmt.Printf("  %s -> node %d (%s)  distance %.3f  level %v\n",
+			tid, a.Node, node.Profile, a.Distance, a.Level)
+	}
+	fmt.Printf("members: %v\n", result.Members())
+
+	// Dissolution (Section 4): members release their reservations.
+	org.Dissolve("demo finished")
+	cluster.Run(6)
+	fmt.Println("coalition dissolved; all reservations released")
+}

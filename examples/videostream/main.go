@@ -1,0 +1,110 @@
+// Videostream: coalition formation over the live goroutine runtime.
+//
+// Every node is a real goroutine (the repo's agents) and radio links are
+// channels; the protocol code is byte-for-byte the one the simulator
+// runs. A phone joins a neighbourhood of eight devices, requests a
+// 4-task video conference pipeline, and the program reports the formed
+// coalition, then kills one member and shows the operation-phase monitor
+// reconfiguring the coalition (Section 4's "coalition reconfiguration
+// due to partial failures").
+//
+// Run: go run ./examples/videostream
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/live"
+	"repro/internal/radio"
+	"repro/internal/workload"
+)
+
+func main() {
+	rt := live.NewRuntime(live.Config{TimeScale: 0.01, Provider: core.DefaultProviderConfig})
+	defer rt.Shutdown()
+
+	profiles := []workload.Profile{
+		workload.Phone, workload.PDA, workload.Laptop, workload.PDA,
+		workload.Laptop, workload.Phone, workload.PDA, workload.Laptop,
+	}
+	for i, p := range profiles {
+		pos := core.GridPlacement(i, len(profiles), 12)
+		if _, err := rt.AddNode(radio.NodeID(i), radio.Pos(pos), p.RangeM, p.Bitrate, p.Capacity); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	svc := workload.StreamService("conf", 4, 1.2)
+	results := make(chan *core.Result, 8)
+	org, err := rt.Node(0).Submit(svc, core.DefaultOrganizerConfig, func(r *core.Result) {
+		results <- r
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	first := waitResult(results, 10*time.Second)
+	if first == nil {
+		log.Fatal("formation timed out")
+	}
+	fmt.Printf("formed coalition (round trip over goroutines + channels):\n")
+	printResult(rt, profiles, first)
+
+	// Kill a remote member; the heartbeat monitor detects the silence
+	// and renegotiates the orphaned tasks among the survivors.
+	victim := pickRemoteMember(first)
+	if victim < 0 {
+		fmt.Println("all tasks ran locally; nothing to fail")
+		return
+	}
+	fmt.Printf("\nkilling node %d (%s)...\n", victim, profiles[victim].Name)
+	rt.Node(victim).Provider.SetDown(true)
+
+	second := waitResult(results, 30*time.Second)
+	if second == nil {
+		log.Fatal("reconfiguration timed out")
+	}
+	fmt.Printf("reconfigured coalition (%d failure(s) detected, %d reconfiguration(s)):\n",
+		org.Failures, org.Reconfigurations)
+	printResult(rt, profiles, second)
+	for tid, a := range second.Assigned {
+		if a.Node == victim {
+			log.Fatalf("task %s still on the failed node", tid)
+		}
+	}
+	fmt.Printf("\ntraffic: %d messages sent, %d delivered, %d dropped\n",
+		rt.Sent.Load(), rt.Delivered.Load(), rt.Dropped.Load())
+}
+
+func waitResult(ch <-chan *core.Result, timeout time.Duration) *core.Result {
+	select {
+	case r := <-ch:
+		return r
+	case <-time.After(timeout):
+		return nil
+	}
+}
+
+func printResult(rt *live.Runtime, profiles []workload.Profile, r *core.Result) {
+	for _, t := range []string{"t0", "t1", "t2", "t3"} {
+		a, ok := r.Assigned[t]
+		if !ok {
+			fmt.Printf("  %-3s UNSERVED\n", t)
+			continue
+		}
+		fmt.Printf("  %-3s -> node %d (%-6s) distance %.3f\n", t, a.Node, profiles[a.Node].Name, a.Distance)
+	}
+	fmt.Printf("  members: %v\n", r.Members())
+}
+
+func pickRemoteMember(r *core.Result) radio.NodeID {
+	for _, a := range r.Assigned {
+		if a.Node != 0 {
+			return a.Node
+		}
+	}
+	return -1
+}

@@ -1,0 +1,416 @@
+// Package baseline implements the comparison allocators the experiments
+// measure the coalition protocol against. The paper publishes no
+// baselines; these are the standard strawmen its prose argues against:
+//
+//   - LocalOnly: no cooperation — the requesting node serves everything
+//     itself (the "single node cannot execute a specific service" case).
+//   - Random: cooperation without evaluation — any admissible proposal
+//     wins, ignoring the Section 6 distance.
+//   - Greedy: first-fit — the first node able to serve a task gets it,
+//     ignoring quality comparison across proposals.
+//   - Optimal: exhaustive assignment minimizing total distance (with the
+//     same resource feasibility), tractable only for small populations;
+//     used to measure the protocol's optimality gap.
+//
+// Baselines run offline against a snapshot of node resources: they answer
+// "who would serve what, at which level" without exchanging messages.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/qos"
+	"repro/internal/radio"
+	"repro/internal/resource"
+	"repro/internal/task"
+)
+
+// NodeView is the allocator's snapshot of one candidate node.
+type NodeView struct {
+	ID  radio.NodeID
+	Res *resource.Set
+	// CommCost estimates moving the task's data to this node (seconds);
+	// the organizer node has cost 0.
+	CommCost float64
+}
+
+// Problem is one allocation instance.
+type Problem struct {
+	Service *task.Service
+	// Organizer indexes into Nodes: the requesting node.
+	Organizer radio.NodeID
+	Nodes     []NodeView
+	// GridSteps and Penalty mirror the provider configuration.
+	GridSteps int
+	Penalty   qos.PenaltyFunc
+}
+
+// TaskAlloc is one task's outcome.
+type TaskAlloc struct {
+	TaskID   string
+	Node     radio.NodeID
+	Level    qos.Level
+	Distance float64
+	Reward   float64
+}
+
+// Allocation is an allocator's answer.
+type Allocation struct {
+	Assigned []TaskAlloc
+	Unserved []string
+}
+
+// Complete reports whether every task was served.
+func (a *Allocation) Complete() bool { return len(a.Unserved) == 0 }
+
+// MeanDistance averages the evaluation value over served tasks.
+func (a *Allocation) MeanDistance() float64 {
+	if len(a.Assigned) == 0 {
+		return 0
+	}
+	var t float64
+	for _, x := range a.Assigned {
+		t += x.Distance
+	}
+	return t / float64(len(a.Assigned))
+}
+
+// Members counts distinct serving nodes.
+func (a *Allocation) Members() int {
+	seen := make(map[radio.NodeID]bool)
+	for _, x := range a.Assigned {
+		seen[x.Node] = true
+	}
+	return len(seen)
+}
+
+// Allocator is the common baseline interface.
+type Allocator interface {
+	Name() string
+	Allocate(p *Problem) (*Allocation, error)
+}
+
+// evaluatorFor builds the Section 6 evaluator for a task.
+func evaluatorFor(p *Problem, t *task.Task) (*qos.Evaluator, error) {
+	return qos.NewEvaluator(p.Service.Spec, &t.Request)
+}
+
+// formulateOn runs the provider-side heuristic for a task against one
+// node's snapshot, reserving on success so that subsequent tasks see the
+// reduced availability (mirrors award-time reservation).
+func formulateOn(p *Problem, n NodeView, t *task.Task, reserve bool) (*core.Formulation, error) {
+	f, err := core.Formulate(p.Service.Spec, &t.Request, t.Demand, n.Res.CanReserve, p.GridSteps, p.Penalty)
+	if err != nil {
+		return nil, err
+	}
+	if reserve {
+		id := resource.ReservationID(p.Service.ID + "/" + t.ID)
+		if rerr := n.Res.Reserve(id, f.Demand); rerr != nil {
+			return nil, rerr
+		}
+	}
+	return f, nil
+}
+
+// LocalOnly serves every task on the organizer node.
+type LocalOnly struct{}
+
+// Name implements Allocator.
+func (LocalOnly) Name() string { return "local-only" }
+
+// Allocate implements Allocator.
+func (LocalOnly) Allocate(p *Problem) (*Allocation, error) {
+	var organizer *NodeView
+	for i := range p.Nodes {
+		if p.Nodes[i].ID == p.Organizer {
+			organizer = &p.Nodes[i]
+		}
+	}
+	if organizer == nil {
+		return nil, fmt.Errorf("baseline: organizer %d not among nodes", p.Organizer)
+	}
+	out := &Allocation{}
+	for _, t := range p.Service.Tasks {
+		eval, err := evaluatorFor(p, t)
+		if err != nil {
+			return nil, err
+		}
+		f, err := formulateOn(p, *organizer, t, true)
+		if err != nil {
+			out.Unserved = append(out.Unserved, t.ID)
+			continue
+		}
+		d, err := eval.Distance(f.Level)
+		if err != nil {
+			return nil, err
+		}
+		out.Assigned = append(out.Assigned, TaskAlloc{
+			TaskID: t.ID, Node: organizer.ID, Level: f.Level, Distance: d, Reward: f.Reward,
+		})
+	}
+	return out, nil
+}
+
+// Random picks a uniformly random node that can serve each task.
+type Random struct {
+	Rng *rand.Rand
+}
+
+// Name implements Allocator.
+func (Random) Name() string { return "random" }
+
+// Allocate implements Allocator.
+func (r Random) Allocate(p *Problem) (*Allocation, error) {
+	rng := r.Rng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	out := &Allocation{}
+	for _, t := range p.Service.Tasks {
+		eval, err := evaluatorFor(p, t)
+		if err != nil {
+			return nil, err
+		}
+		perm := rng.Perm(len(p.Nodes))
+		served := false
+		for _, idx := range perm {
+			n := p.Nodes[idx]
+			f, ferr := formulateOn(p, n, t, true)
+			if ferr != nil {
+				continue
+			}
+			d, derr := eval.Distance(f.Level)
+			if derr != nil {
+				return nil, derr
+			}
+			out.Assigned = append(out.Assigned, TaskAlloc{
+				TaskID: t.ID, Node: n.ID, Level: f.Level, Distance: d, Reward: f.Reward,
+			})
+			served = true
+			break
+		}
+		if !served {
+			out.Unserved = append(out.Unserved, t.ID)
+		}
+	}
+	return out, nil
+}
+
+// Greedy assigns each task to the first node (by ID) that can serve it at
+// any acceptable level — first-fit without quality comparison.
+type Greedy struct{}
+
+// Name implements Allocator.
+func (Greedy) Name() string { return "greedy-first-fit" }
+
+// Allocate implements Allocator.
+func (Greedy) Allocate(p *Problem) (*Allocation, error) {
+	nodes := append([]NodeView(nil), p.Nodes...)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	out := &Allocation{}
+	for _, t := range p.Service.Tasks {
+		eval, err := evaluatorFor(p, t)
+		if err != nil {
+			return nil, err
+		}
+		served := false
+		for _, n := range nodes {
+			f, ferr := formulateOn(p, n, t, true)
+			if ferr != nil {
+				continue
+			}
+			d, derr := eval.Distance(f.Level)
+			if derr != nil {
+				return nil, derr
+			}
+			out.Assigned = append(out.Assigned, TaskAlloc{
+				TaskID: t.ID, Node: n.ID, Level: f.Level, Distance: d, Reward: f.Reward,
+			})
+			served = true
+			break
+		}
+		if !served {
+			out.Unserved = append(out.Unserved, t.ID)
+		}
+	}
+	return out, nil
+}
+
+// Optimal enumerates all task->node assignments, serving each assigned
+// task at the node's heuristically formulated level, and returns the
+// feasible assignment minimizing (unserved count, total distance, member
+// count). Exponential in tasks: len(Nodes)^len(Tasks) combinations, so it
+// guards against misuse.
+type Optimal struct {
+	// MaxCombinations bounds the search (default 1e6).
+	MaxCombinations int64
+}
+
+// Name implements Allocator.
+func (Optimal) Name() string { return "optimal-exhaustive" }
+
+// Allocate implements Allocator.
+func (o Optimal) Allocate(p *Problem) (*Allocation, error) {
+	maxC := o.MaxCombinations
+	if maxC == 0 {
+		maxC = 1_000_000
+	}
+	nT := len(p.Service.Tasks)
+	nN := len(p.Nodes)
+	combos := int64(1)
+	for i := 0; i < nT; i++ {
+		combos *= int64(nN + 1) // +1 = leave task unserved
+		if combos > maxC {
+			return nil, fmt.Errorf("baseline: optimal search space exceeds %d", maxC)
+		}
+	}
+	evals := make([]*qos.Evaluator, nT)
+	for i, t := range p.Service.Tasks {
+		e, err := evaluatorFor(p, t)
+		if err != nil {
+			return nil, err
+		}
+		evals[i] = e
+	}
+
+	assign := make([]int, nT) // node index per task; nN == unserved
+	var best []int
+	bestKey := [3]float64{math.Inf(1), math.Inf(1), math.Inf(1)}
+
+	var recurse func(ti int) error
+	recurse = func(ti int) error {
+		if ti == nT {
+			key, ok, err := o.scoreAssign(p, evals, assign)
+			if err != nil {
+				return err
+			}
+			if ok && lessKey(key, bestKey) {
+				bestKey = key
+				best = append([]int(nil), assign...)
+			}
+			return nil
+		}
+		for choice := 0; choice <= nN; choice++ {
+			assign[ti] = choice
+			if err := recurse(ti + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := recurse(0); err != nil {
+		return nil, err
+	}
+	if best == nil {
+		return &Allocation{Unserved: taskIDs(p)}, nil
+	}
+	return o.materialize(p, evals, best)
+}
+
+func lessKey(a, b [3]float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// scoreAssign tests feasibility of one complete assignment by actually
+// reserving on scratch copies, returning (unserved, totalDistance,
+// members).
+func (o Optimal) scoreAssign(p *Problem, evals []*qos.Evaluator, assign []int) ([3]float64, bool, error) {
+	type res struct{ d float64 }
+	scratch := make([]*resource.Set, len(p.Nodes))
+	for i, n := range p.Nodes {
+		scratch[i] = resource.NewSet(n.Res.Available())
+	}
+	unserved := 0
+	var total float64
+	members := make(map[int]bool)
+	for ti, t := range p.Service.Tasks {
+		choice := assign[ti]
+		if choice == len(p.Nodes) {
+			unserved++
+			continue
+		}
+		f, err := core.Formulate(p.Service.Spec, &t.Request, t.Demand, scratch[choice].CanReserve, p.GridSteps, p.Penalty)
+		if err != nil {
+			return [3]float64{}, false, nil // infeasible branch
+		}
+		id := resource.ReservationID(fmt.Sprintf("opt/%d/%s", ti, t.ID))
+		if err := scratch[choice].Reserve(id, f.Demand); err != nil {
+			return [3]float64{}, false, nil
+		}
+		d, err := evals[ti].Distance(f.Level)
+		if err != nil {
+			return [3]float64{}, false, err
+		}
+		total += d
+		members[choice] = true
+	}
+	_ = res{}
+	return [3]float64{float64(unserved), total, float64(len(members))}, true, nil
+}
+
+// materialize re-runs the winning assignment against the real node sets.
+func (o Optimal) materialize(p *Problem, evals []*qos.Evaluator, assign []int) (*Allocation, error) {
+	out := &Allocation{}
+	for ti, t := range p.Service.Tasks {
+		choice := assign[ti]
+		if choice == len(p.Nodes) {
+			out.Unserved = append(out.Unserved, t.ID)
+			continue
+		}
+		n := p.Nodes[choice]
+		f, err := formulateOn(p, n, t, true)
+		if err != nil {
+			out.Unserved = append(out.Unserved, t.ID)
+			continue
+		}
+		d, err := evals[ti].Distance(f.Level)
+		if err != nil {
+			return nil, err
+		}
+		out.Assigned = append(out.Assigned, TaskAlloc{
+			TaskID: t.ID, Node: n.ID, Level: f.Level, Distance: d, Reward: f.Reward,
+		})
+	}
+	return out, nil
+}
+
+func taskIDs(p *Problem) []string {
+	out := make([]string, len(p.Service.Tasks))
+	for i, t := range p.Service.Tasks {
+		out[i] = t.ID
+	}
+	return out
+}
+
+// SnapshotProblem builds a Problem from a live cluster: each node's
+// current availability becomes an independent scratch resource set, so
+// allocations never disturb the cluster.
+func SnapshotProblem(svc *task.Service, organizer radio.NodeID, nodes map[radio.NodeID]*resource.Set, comm func(radio.NodeID) float64, gridSteps int) *Problem {
+	p := &Problem{Service: svc, Organizer: organizer, GridSteps: gridSteps}
+	ids := make([]radio.NodeID, 0, len(nodes))
+	for id := range nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		cost := 0.0
+		if comm != nil {
+			cost = comm(id)
+		}
+		p.Nodes = append(p.Nodes, NodeView{
+			ID:       id,
+			Res:      resource.NewSet(nodes[id].Available()),
+			CommCost: cost,
+		})
+	}
+	return p
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/proto"
+	"repro/internal/radio"
+	"repro/internal/resource"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+// NodeSpec describes one node to add to a Cluster.
+type NodeSpec struct {
+	ID       radio.NodeID
+	Mobility radio.Mobility
+	// RangeM is radio range in meters; Bitrate the link speed in bits/s.
+	RangeM, Bitrate float64
+	// Capacity sizes the node's Resource Managers.
+	Capacity resource.Vector
+	// Profile is a display name ("phone", "laptop", ...).
+	Profile string
+	// BatteryDrain, when positive, replaces the Energy bucket with a
+	// draining battery (capacity units per simulated second). A node
+	// whose battery empties goes down (radio off, provider silent) and
+	// the operation-phase monitor treats it as failed.
+	BatteryDrain float64
+}
+
+// Node is one simulated device: its resources, its QoS Provider, and any
+// organizers it runs for locally requested services.
+type Node struct {
+	ID       radio.NodeID
+	Profile  string
+	Res      *resource.Set
+	Provider *Provider
+
+	tr         proto.Transport
+	organizers map[string]*Organizer
+}
+
+// Cluster assembles the full simulated system on a discrete-event engine:
+// the radio medium, the node population, the shared application catalog,
+// and service submission.
+type Cluster struct {
+	Eng     *sim.Engine
+	Medium  *radio.Medium
+	Catalog *Catalog
+
+	providerCfg ProviderConfig
+	nodes       map[radio.NodeID]*Node
+}
+
+// NewCluster builds an empty cluster on a fresh engine.
+func NewCluster(seed int64, radioCfg radio.Config, providerCfg ProviderConfig) *Cluster {
+	eng := sim.New(seed)
+	return &Cluster{
+		Eng:         eng,
+		Medium:      radio.NewMedium(eng, radioCfg),
+		Catalog:     NewCatalog(),
+		providerCfg: providerCfg,
+		nodes:       make(map[radio.NodeID]*Node),
+	}
+}
+
+// simTimers adapts the engine to proto.Timers.
+type simTimers struct{ eng *sim.Engine }
+
+func (t simTimers) Now() float64               { return t.eng.Now() }
+func (t simTimers) After(d float64, fn func()) { t.eng.After(d, fn) }
+
+// simTransport adapts the radio medium to proto.Transport. Sends to the
+// local node bypass the radio (they model intra-node calls) and are
+// delivered on the next event-loop tick.
+type simTransport struct {
+	c  *Cluster
+	id radio.NodeID
+}
+
+func (t simTransport) Self() radio.NodeID { return t.id }
+
+func (t simTransport) Send(to radio.NodeID, m proto.Msg) {
+	if to == t.id {
+		from := t.id
+		t.c.Eng.After(0, func() { t.c.dispatch(to, from, m) })
+		return
+	}
+	t.c.Medium.Send(t.id, to, m, m.WireSize())
+}
+
+func (t simTransport) Broadcast(m proto.Msg) {
+	t.c.Medium.SendBroadcast(t.id, m, m.WireSize())
+}
+
+func (t simTransport) CommCost(to radio.NodeID, size int64) float64 {
+	if to == t.id {
+		return 0
+	}
+	return t.c.Medium.TxTime(t.id, to, size)
+}
+
+// AddNode creates a node, wires its provider to the medium, and returns it.
+func (c *Cluster) AddNode(spec NodeSpec) (*Node, error) {
+	if _, dup := c.nodes[spec.ID]; dup {
+		return nil, fmt.Errorf("core: node %d already exists", spec.ID)
+	}
+	n := &Node{
+		ID:         spec.ID,
+		Profile:    spec.Profile,
+		organizers: make(map[string]*Organizer),
+	}
+	var battery *resource.Battery
+	if spec.BatteryDrain > 0 {
+		battery = resource.NewBattery(spec.Capacity[resource.Energy], spec.BatteryDrain)
+		managers := make([]resource.Manager, 0, resource.NumKinds)
+		for _, k := range resource.Kinds() {
+			if k == resource.Energy {
+				managers = append(managers, battery)
+			} else {
+				managers = append(managers, resource.NewBucket(k, spec.Capacity[k]))
+			}
+		}
+		n.Res = resource.NewSetWith(managers...)
+	} else {
+		n.Res = resource.NewSet(spec.Capacity)
+	}
+	n.tr = simTransport{c: c, id: spec.ID}
+	n.Provider = NewProvider(spec.ID, n.Res, c.Catalog, n.tr, simTimers{c.Eng}, c.providerCfg)
+	handler := func(from radio.NodeID, msg any) {
+		pm, ok := msg.(proto.Msg)
+		if !ok {
+			return
+		}
+		c.dispatch(spec.ID, from, pm)
+	}
+	if err := c.Medium.Attach(spec.ID, spec.Mobility, spec.RangeM, spec.Bitrate, handler); err != nil {
+		return nil, err
+	}
+	c.nodes[spec.ID] = n
+	if battery != nil {
+		c.runBattery(spec.ID, battery)
+	}
+	return n, nil
+}
+
+// runBattery drains the node's battery once per simulated second and
+// takes the node off the air when it empties.
+func (c *Cluster) runBattery(id radio.NodeID, bat *resource.Battery) {
+	const tick = 1.0
+	var loop func()
+	loop = func() {
+		if c.Medium.Down(id) {
+			return // failed by other means; stop draining
+		}
+		bat.Drain(tick)
+		if bat.Capacity() <= 0 {
+			c.FailNode(id)
+			return
+		}
+		c.Eng.After(tick, loop)
+	}
+	c.Eng.After(tick, loop)
+}
+
+// dispatch routes a delivered message to the node's provider or to the
+// organizer owning the service, mirroring the paper's role split.
+func (c *Cluster) dispatch(at, from radio.NodeID, m proto.Msg) {
+	n, ok := c.nodes[at]
+	if !ok {
+		return
+	}
+	switch msg := m.(type) {
+	case *proto.Proposal:
+		if o := n.organizers[msg.ServiceID]; o != nil {
+			o.OnMsg(from, m)
+		}
+	case *proto.AwardAck:
+		if o := n.organizers[msg.ServiceID]; o != nil {
+			o.OnMsg(from, m)
+		}
+	case *proto.Heartbeat:
+		if o := n.organizers[msg.ServiceID]; o != nil {
+			o.OnMsg(from, m)
+		}
+	default:
+		n.Provider.OnMsg(from, m)
+	}
+}
+
+// Node returns a node by ID, or nil.
+func (c *Cluster) Node(id radio.NodeID) *Node {
+	return c.nodes[id]
+}
+
+// Nodes returns all node IDs, ascending.
+func (c *Cluster) Nodes() []radio.NodeID { return c.Medium.NodeIDs() }
+
+// Submit schedules a service request at the given node and simulated
+// time; onFormed fires when each (re)formation attempt completes. It
+// returns the organizer so callers can dissolve or inspect the coalition.
+func (c *Cluster) Submit(at float64, node radio.NodeID, svc *task.Service, cfg OrganizerConfig, onFormed func(*Result)) (*Organizer, error) {
+	n, ok := c.nodes[node]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown node %d", node)
+	}
+	if err := c.Catalog.RegisterService(svc); err != nil {
+		return nil, err
+	}
+	if _, dup := n.organizers[svc.ID]; dup {
+		return nil, fmt.Errorf("core: node %d already organizes service %q", node, svc.ID)
+	}
+	o, err := NewOrganizer(svc, n.tr, simTimers{c.Eng}, cfg, onFormed)
+	if err != nil {
+		return nil, err
+	}
+	n.organizers[svc.ID] = o
+	if at < c.Eng.Now() {
+		at = c.Eng.Now()
+	}
+	c.Eng.At(at, o.Start)
+	return o, nil
+}
+
+// FailNode takes a node off the air (radio down, provider ignoring
+// traffic); used by the failure-injection experiments.
+func (c *Cluster) FailNode(id radio.NodeID) {
+	c.Medium.SetDown(id, true)
+	if n, ok := c.nodes[id]; ok {
+		n.Provider.SetDown(true)
+	}
+}
+
+// RecoverNode brings a failed node back.
+func (c *Cluster) RecoverNode(id radio.NodeID) {
+	c.Medium.SetDown(id, false)
+	if n, ok := c.nodes[id]; ok {
+		n.Provider.SetDown(false)
+	}
+}
+
+// Run drives the simulation until the horizon (0 = until idle).
+func (c *Cluster) Run(until float64) float64 { return c.Eng.Run(until) }
+
+// GridPlacement returns a static position on a sqrt-grid with the given
+// spacing; a convenience for experiments that want guaranteed
+// connectivity without mobility.
+func GridPlacement(i, total int, spacing float64) radio.Static {
+	side := int(math.Ceil(math.Sqrt(float64(total))))
+	if side == 0 {
+		side = 1
+	}
+	return radio.Static{X: float64(i%side) * spacing, Y: float64(i/side) * spacing}
+}

@@ -1,0 +1,262 @@
+// Package core implements the paper's primary contribution: dynamic
+// QoS-aware coalition formation. It contains the local proposal
+// formulation heuristic (Section 5), the multi-attribute proposal
+// evaluation and winner selection with the paper's three criteria
+// (Section 4.2/6), the Negotiation Organizer and QoS Provider state
+// machines, and the coalition life cycle (formation, operation with
+// failure-driven reconfiguration, dissolution).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/qos"
+	"repro/internal/resource"
+	"repro/internal/task"
+)
+
+// ErrNoFeasibleLevel is returned when every degradation path is exhausted
+// and no acceptable QoS level fits the node's available resources.
+var ErrNoFeasibleLevel = errors.New("core: no acceptable QoS level is schedulable")
+
+// Formulation is the outcome of the local QoS optimization heuristic: the
+// least-degraded schedulable level, its reward (eq. 1), and the resource
+// demand the level implies.
+type Formulation struct {
+	Level        qos.Level
+	Assignment   qos.Assignment
+	Ladder       *qos.Ladder
+	Reward       float64
+	Demand       resource.Vector
+	Degradations int
+}
+
+// AvailFunc answers whether a demand vector is currently schedulable on
+// the node; typically (*resource.Set).CanReserve.
+type AvailFunc func(resource.Vector) bool
+
+// Formulate runs the Section 5 heuristic, inspired by the local QoS
+// optimization of Abdelzaher et al.:
+//
+//  1. start by selecting the user's preferred values for all QoS
+//     dimensions;
+//  2. while the resulting level is not schedulable, determine for each
+//     degradable attribute the decrease in local reward of stepping it
+//     one level down, and apply the degradation with minimal decrease;
+//  3. stop when the level is schedulable (and dependency-consistent) or
+//     no attribute can degrade further.
+//
+// gridSteps controls the discretization of continuous accepted spans
+// (see qos.BuildLadder); penalty defaults to qos.DefaultPenalty.
+func Formulate(spec *qos.Spec, req *qos.Request, dm task.DemandModel, avail AvailFunc, gridSteps int, penalty qos.PenaltyFunc) (*Formulation, error) {
+	ladder, err := qos.BuildLadder(spec, req, gridSteps)
+	if err != nil {
+		return nil, err
+	}
+	if penalty == nil {
+		penalty = qos.DefaultPenalty
+	}
+	a := ladder.NewAssignment()
+	degradations := 0
+	for {
+		level := ladder.Level(a)
+		demand, derr := dm.Demand(spec, level)
+		if derr != nil {
+			return nil, derr
+		}
+		depsOK, _ := spec.DepsSatisfied(level)
+		if depsOK && avail(demand) {
+			return &Formulation{
+				Level:        level,
+				Assignment:   a,
+				Ladder:       ladder,
+				Reward:       qos.Reward(ladder, a, penalty),
+				Demand:       demand,
+				Degradations: degradations,
+			}, nil
+		}
+		i, ok := cheapestDegradation(ladder, a, penalty)
+		if !ok {
+			return nil, fmt.Errorf("%w (request %q after %d degradations)", ErrNoFeasibleLevel, req.Service, degradations)
+		}
+		a[i]++
+		degradations++
+	}
+}
+
+// cheapestDegradation finds the attribute whose next degradation step
+// loses the least local reward (the paper's "find task Tm whose decrease
+// is minimum", applied per attribute within one task's level). Ties break
+// toward the least important attribute (highest ladder position), so that
+// important dimensions keep their quality longest.
+func cheapestDegradation(ld *qos.Ladder, a qos.Assignment, penalty qos.PenaltyFunc) (int, bool) {
+	best := -1
+	var bestCost float64
+	for i := range ld.Attrs {
+		if !ld.CanDegrade(a, i) {
+			continue
+		}
+		la := &ld.Attrs[i]
+		steps := len(la.Choices)
+		w := la.Weight()
+		cost := penalty(a[i]+1, steps, w) - penalty(a[i], steps, w)
+		if best == -1 || cost < bestCost || (cost == bestCost && i > best) {
+			best, bestCost = i, cost
+		}
+	}
+	return best, best != -1
+}
+
+// FormulateResourceAware is an extension of the Section 5 heuristic that
+// addresses its known myopia: the paper degrades whichever attribute
+// loses the least reward, even when that degradation barely reduces
+// resource demand (e.g. trimming audio bits while the CPU shortage comes
+// from the frame rate). This variant scores each candidate degradation by
+// reward-loss per unit of relieved bottleneck demand and applies the best
+// ratio. It is not part of the paper; experiment E5 quantifies the gap it
+// closes (see DESIGN.md "extensions").
+func FormulateResourceAware(spec *qos.Spec, req *qos.Request, dm task.DemandModel, avail AvailFunc, gridSteps int, penalty qos.PenaltyFunc) (*Formulation, error) {
+	ladder, err := qos.BuildLadder(spec, req, gridSteps)
+	if err != nil {
+		return nil, err
+	}
+	if penalty == nil {
+		penalty = qos.DefaultPenalty
+	}
+	a := ladder.NewAssignment()
+	degradations := 0
+	for {
+		level := ladder.Level(a)
+		demand, derr := dm.Demand(spec, level)
+		if derr != nil {
+			return nil, derr
+		}
+		depsOK, _ := spec.DepsSatisfied(level)
+		if depsOK && avail(demand) {
+			return &Formulation{
+				Level:        level,
+				Assignment:   a,
+				Ladder:       ladder,
+				Reward:       qos.Reward(ladder, a, penalty),
+				Demand:       demand,
+				Degradations: degradations,
+			}, nil
+		}
+		best := -1
+		bestScore := 0.0
+		for i := range ladder.Attrs {
+			if !ladder.CanDegrade(a, i) {
+				continue
+			}
+			la := &ladder.Attrs[i]
+			steps := len(la.Choices)
+			w := la.Weight()
+			cost := penalty(a[i]+1, steps, w) - penalty(a[i], steps, w)
+			trial := a.Clone()
+			trial[i]++
+			trialDemand, terr := dm.Demand(spec, ladder.Level(trial))
+			if terr != nil {
+				return nil, terr
+			}
+			relief := demandRelief(demand, trialDemand)
+			// Score: relief per unit of reward lost; degradations that
+			// relieve nothing rank last but stay eligible (cost-only).
+			score := relief / (cost + 1e-9)
+			if best == -1 || score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		if best == -1 {
+			return nil, fmt.Errorf("%w (request %q after %d degradations)", ErrNoFeasibleLevel, req.Service, degradations)
+		}
+		a[best]++
+		degradations++
+	}
+}
+
+// demandRelief measures how much a degradation reduces demand, summed
+// over kinds and normalized by the current demand (so kinds with larger
+// shortage weigh proportionally).
+func demandRelief(cur, next resource.Vector) float64 {
+	var relief float64
+	for i := range cur {
+		if cur[i] <= 0 {
+			continue
+		}
+		d := (cur[i] - next[i]) / cur[i]
+		if d > 0 {
+			relief += d
+		}
+	}
+	return relief
+}
+
+// FormulateExhaustive enumerates the full ladder cross-product and
+// returns the schedulable level with maximal reward (ties: fewest
+// degradations, then lexicographically smallest assignment). It is the
+// optimal counterpart of Formulate used by experiment E5 to measure the
+// heuristic's optimality gap; cost is exponential in attributes, so
+// callers must bound the ladder (maxCombinations guards mistakes).
+func FormulateExhaustive(spec *qos.Spec, req *qos.Request, dm task.DemandModel, avail AvailFunc, gridSteps int, penalty qos.PenaltyFunc, maxCombinations int64) (*Formulation, error) {
+	ladder, err := qos.BuildLadder(spec, req, gridSteps)
+	if err != nil {
+		return nil, err
+	}
+	if penalty == nil {
+		penalty = qos.DefaultPenalty
+	}
+	if c := ladder.Combinations(); c > maxCombinations {
+		return nil, fmt.Errorf("core: exhaustive search over %d combinations exceeds bound %d", c, maxCombinations)
+	}
+	a := ladder.NewAssignment()
+	var best *Formulation
+	for {
+		level := ladder.Level(a)
+		if depsOK, _ := spec.DepsSatisfied(level); depsOK {
+			demand, derr := dm.Demand(spec, level)
+			if derr != nil {
+				return nil, derr
+			}
+			if avail(demand) {
+				r := qos.Reward(ladder, a, penalty)
+				deg := 0
+				for _, x := range a {
+					deg += x
+				}
+				if best == nil || r > best.Reward || (r == best.Reward && deg < best.Degradations) {
+					best = &Formulation{
+						Level:        level,
+						Assignment:   a.Clone(),
+						Ladder:       ladder,
+						Reward:       r,
+						Demand:       demand,
+						Degradations: deg,
+					}
+				}
+			}
+		}
+		if !nextAssignment(ladder, a) {
+			break
+		}
+	}
+	if best == nil {
+		return nil, ErrNoFeasibleLevel
+	}
+	return best, nil
+}
+
+// nextAssignment advances a through the cross-product in odometer order,
+// returning false after the last combination.
+func nextAssignment(ld *qos.Ladder, a qos.Assignment) bool {
+	for i := len(a) - 1; i >= 0; i-- {
+		if a[i]+1 < len(ld.Attrs[i].Choices) {
+			a[i]++
+			for j := i + 1; j < len(a); j++ {
+				a[j] = 0
+			}
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,665 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/proto"
+	"repro/internal/qos"
+	"repro/internal/radio"
+	"repro/internal/task"
+	"repro/internal/trace"
+)
+
+// OrganizerConfig tunes the Negotiation Organizer.
+type OrganizerConfig struct {
+	// ProposalWait is how long (seconds) the organizer collects
+	// proposals after broadcasting a CFP.
+	ProposalWait float64
+	// AckWait is how long the organizer waits for award acknowledgements
+	// before treating silent awards as declined.
+	AckWait float64
+	// MaxRounds bounds renegotiation attempts (>=1). A round re-issues
+	// the CFP for tasks that remain unassigned or were declined.
+	MaxRounds int
+	// Policy selects winners (the paper's three criteria).
+	Policy SelectionPolicy
+	// Monitor enables operation-phase heartbeat supervision.
+	Monitor bool
+	// HeartbeatTimeout declares a member failed when no heartbeat
+	// arrives within this window (seconds).
+	HeartbeatTimeout float64
+	// Reconfigure re-runs negotiation for tasks orphaned by a member
+	// failure (the paper's operation-phase "coalition reconfiguration
+	// due to partial failures").
+	Reconfigure bool
+	// ImproveEps is the minimum distance improvement that justifies
+	// migrating an already-served task during a TryImprove round
+	// (Section 4's run-time adaptation). Zero selects 0.05.
+	ImproveEps float64
+	// Trace receives protocol events (nil = no tracing).
+	Trace trace.Tracer
+}
+
+// DefaultOrganizerConfig is the configuration used by the experiments.
+var DefaultOrganizerConfig = OrganizerConfig{
+	ProposalWait:     0.25,
+	AckWait:          0.25,
+	MaxRounds:        6,
+	Policy:           DefaultPolicy,
+	Monitor:          true,
+	HeartbeatTimeout: 2.0,
+	Reconfigure:      true,
+}
+
+// CoalitionState is the life-cycle phase of Section 4.
+type CoalitionState int
+
+const (
+	// Forming covers partner selection (negotiation in progress).
+	Forming CoalitionState = iota
+	// Operating covers control and monitoring of partners' execution.
+	Operating
+	// Dissolved is the terminated coalition.
+	Dissolved
+)
+
+// String names the state.
+func (s CoalitionState) String() string {
+	switch s {
+	case Forming:
+		return "forming"
+	case Operating:
+		return "operating"
+	default:
+		return "dissolved"
+	}
+}
+
+// Result reports a formation (or reformation) outcome.
+type Result struct {
+	ServiceID string
+	// Assigned maps task IDs to their winning node and level.
+	Assigned map[string]Assignment3
+	// Unserved lists tasks no node could serve acceptably.
+	Unserved []string
+	// Rounds is the number of negotiation rounds used.
+	Rounds int
+	// FormationTime is the elapsed time from Start to completion.
+	FormationTime float64
+	// ProposalsReceived counts proposal messages across rounds.
+	ProposalsReceived int
+}
+
+// Complete reports whether every task was assigned.
+func (r *Result) Complete() bool { return len(r.Unserved) == 0 }
+
+// Members returns the distinct winning nodes, ascending.
+func (r *Result) Members() []radio.NodeID {
+	seen := make(map[radio.NodeID]bool)
+	var out []radio.NodeID
+	for _, a := range r.Assigned {
+		if !seen[a.Node] {
+			seen[a.Node] = true
+			out = append(out, a.Node)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MeanDistance averages the evaluation value over assigned tasks.
+func (r *Result) MeanDistance() float64 {
+	if len(r.Assigned) == 0 {
+		return 0
+	}
+	var t float64
+	for _, a := range r.Assigned {
+		t += a.Distance
+	}
+	return t / float64(len(r.Assigned))
+}
+
+// Organizer is the paper's Negotiation Organizer: the QoS Provider of the
+// node where the user requested the service "starts and guides all the
+// negotiation process" (Section 4.2).
+type Organizer struct {
+	tr  proto.Transport
+	tm  proto.Timers
+	cfg OrganizerConfig
+	svc *task.Service
+
+	mu        sync.Mutex
+	state     CoalitionState
+	round     int
+	pending   map[string]bool // tasks needing assignment this round
+	collect   bool
+	cands     map[string][]Candidate
+	awarded   map[string]Assignment3 // awaiting ack
+	acked     map[string]bool
+	assigned  map[string]Assignment3
+	started   float64
+	proposals int
+	onFormed  func(*Result)
+	lastHB    map[radio.NodeID]float64
+	monitorOn bool
+
+	improving     bool
+	improveTarget map[string]Assignment3 // task -> migration candidate
+
+	// Reconfigurations counts failure-driven renegotiations.
+	Reconfigurations int
+	// Failures counts member failures detected by the monitor.
+	Failures int
+	// Upgrades counts tasks migrated to better levels by TryImprove.
+	Upgrades int
+}
+
+// NewOrganizer builds an organizer for one service. onFormed fires every
+// time a (re)formation attempt finishes — once initially, and once per
+// reconfiguration when monitoring is enabled.
+func NewOrganizer(svc *task.Service, tr proto.Transport, tm proto.Timers, cfg OrganizerConfig, onFormed func(*Result)) (*Organizer, error) {
+	if err := svc.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ProposalWait <= 0 {
+		cfg.ProposalWait = DefaultOrganizerConfig.ProposalWait
+	}
+	if cfg.AckWait <= 0 {
+		cfg.AckWait = DefaultOrganizerConfig.AckWait
+	}
+	if cfg.MaxRounds < 1 {
+		cfg.MaxRounds = 1
+	}
+	if cfg.Trace == nil {
+		cfg.Trace = trace.Nop{}
+	}
+	return &Organizer{
+		tr: tr, tm: tm, cfg: cfg, svc: svc,
+		pending:  make(map[string]bool),
+		assigned: make(map[string]Assignment3),
+		lastHB:   make(map[radio.NodeID]float64),
+		onFormed: onFormed,
+	}, nil
+}
+
+// State returns the coalition's life-cycle phase.
+func (o *Organizer) State() CoalitionState {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.state
+}
+
+// Service returns the negotiated service.
+func (o *Organizer) Service() *task.Service { return o.svc }
+
+// Start begins the formation phase: it broadcasts the service description
+// and user preferences and collects proposals.
+func (o *Organizer) Start() {
+	o.mu.Lock()
+	o.started = o.tm.Now()
+	for _, t := range o.svc.Tasks {
+		o.pending[t.ID] = true
+	}
+	o.mu.Unlock()
+	o.startRound()
+}
+
+func (o *Organizer) startRound() {
+	o.mu.Lock()
+	if o.state == Dissolved {
+		o.mu.Unlock()
+		return
+	}
+	round := o.round
+	cfp := &proto.CFP{
+		ServiceID: o.svc.ID,
+		Round:     round,
+		SpecName:  o.svc.Spec.Name,
+		Deadline:  o.tm.Now() + o.cfg.ProposalWait,
+	}
+	order := o.pendingOrderLocked()
+	for _, tid := range order {
+		t := o.svc.Task(tid)
+		cfp.Tasks = append(cfp.Tasks, proto.TaskDescr{
+			TaskID:    t.ID,
+			Request:   t.Request,
+			DemandRef: o.svc.ID + "/" + t.ID,
+			InBytes:   t.InBytes,
+			OutBytes:  t.OutBytes,
+		})
+	}
+	o.collect = true
+	o.cands = make(map[string][]Candidate)
+	o.awarded = make(map[string]Assignment3)
+	o.acked = make(map[string]bool)
+	o.mu.Unlock()
+
+	o.emit("cfp", fmt.Sprintf("service %s round %d: %d task(s)", o.svc.ID, round, len(cfp.Tasks)))
+	o.tr.Broadcast(cfp)
+	o.tr.Send(o.tr.Self(), cfp) // the organizer's own node may join the coalition
+	o.tm.After(o.cfg.ProposalWait, func() { o.closeRound(round) })
+}
+
+// emit publishes a trace event stamped with this organizer's clock.
+func (o *Organizer) emit(kind, detail string) {
+	o.cfg.Trace.Emit(trace.Event{
+		T: o.tm.Now(), Node: int(o.tr.Self()), Role: "organizer", Kind: kind, Detail: detail,
+	})
+}
+
+// pendingOrderLocked returns pending tasks in service declaration order.
+func (o *Organizer) pendingOrderLocked() []string {
+	var order []string
+	for _, t := range o.svc.Tasks {
+		if o.pending[t.ID] {
+			order = append(order, t.ID)
+		}
+	}
+	return order
+}
+
+// OnMsg dispatches organizer-role messages.
+func (o *Organizer) OnMsg(from radio.NodeID, m proto.Msg) {
+	switch msg := m.(type) {
+	case *proto.Proposal:
+		o.onProposal(from, msg)
+	case *proto.AwardAck:
+		o.onAwardAck(from, msg)
+	case *proto.Heartbeat:
+		o.onHeartbeat(from, msg)
+	}
+}
+
+// onProposal evaluates each task proposal (step 3 of the negotiation
+// algorithm): admissibility, the Section 6 distance, and communication
+// cost; inadmissible or unreachable offers are discarded.
+func (o *Organizer) onProposal(from radio.NodeID, m *proto.Proposal) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if m.ServiceID != o.svc.ID || m.Round != o.round || !o.collect {
+		return
+	}
+	o.proposals++
+	for _, tp := range m.Tasks {
+		if !o.pending[tp.TaskID] {
+			if !o.improving {
+				continue
+			}
+			if _, served := o.assigned[tp.TaskID]; !served {
+				continue
+			}
+		}
+		t := o.svc.Task(tp.TaskID)
+		if t == nil {
+			continue
+		}
+		eval, err := qos.NewEvaluator(o.svc.Spec, &t.Request)
+		if err != nil {
+			continue
+		}
+		dist, err := eval.Distance(tp.Level)
+		if err != nil {
+			continue // not admissible: the paper evaluates admissible proposals only
+		}
+		cost := o.tr.CommCost(from, t.DataBytes())
+		if cost != cost || cost > 1e17 { // NaN or effectively unreachable
+			continue
+		}
+		o.cands[tp.TaskID] = append(o.cands[tp.TaskID], Candidate{
+			Node: from, TaskID: tp.TaskID, Level: tp.Level,
+			Reward: tp.Reward, Distance: dist, CommCost: cost,
+			Copies: tp.Copies,
+		})
+	}
+}
+
+// closeRound selects winners and issues awards.
+func (o *Organizer) closeRound(round int) {
+	o.mu.Lock()
+	if o.state == Dissolved || round != o.round || !o.collect {
+		o.mu.Unlock()
+		return
+	}
+	o.collect = false
+	order := o.pendingOrderLocked()
+	sel := SelectWinners(order, o.cands, o.cfg.Policy)
+	byNode := make(map[radio.NodeID][]string)
+	for _, a := range sel.Assigned {
+		o.awarded[a.TaskID] = a
+		byNode[a.Node] = append(byNode[a.Node], a.TaskID)
+	}
+	nodes := make([]radio.NodeID, 0, len(byNode))
+	for n := range byNode {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	svcID := o.svc.ID
+	unserved := len(sel.Unserved)
+	o.mu.Unlock()
+
+	o.emit("select", fmt.Sprintf("service %s round %d: %d award(s) to %d node(s), %d without proposals",
+		svcID, round, len(sel.Assigned), len(nodes), unserved))
+	for _, n := range nodes {
+		o.tr.Send(n, &proto.Award{ServiceID: svcID, Round: round, TaskIDs: byNode[n]})
+	}
+	o.tm.After(o.cfg.AckWait, func() { o.finishRound(round) })
+}
+
+// onAwardAck confirms accepted tasks and ships their data. During an
+// improvement round the accepted award migrates the task: the previous
+// member is told to release it.
+func (o *Organizer) onAwardAck(from radio.NodeID, m *proto.AwardAck) {
+	o.mu.Lock()
+	if m.ServiceID != o.svc.ID || m.Round != o.round {
+		o.mu.Unlock()
+		return
+	}
+	var data []*proto.TaskData
+	type release struct {
+		node radio.NodeID
+		tid  string
+	}
+	var releases []release
+	for _, tid := range m.TaskIDs {
+		a, ok := o.awarded[tid]
+		if !ok || a.Node != from || o.acked[tid] {
+			continue
+		}
+		o.acked[tid] = true
+		if prev, had := o.assigned[tid]; had && prev.Node != a.Node {
+			releases = append(releases, release{node: prev.Node, tid: tid})
+			if o.improving {
+				o.Upgrades++
+			}
+		}
+		o.assigned[tid] = a
+		delete(o.pending, tid)
+		t := o.svc.Task(tid)
+		data = append(data, &proto.TaskData{ServiceID: o.svc.ID, TaskID: tid, Bytes: t.InBytes})
+	}
+	o.lastHB[from] = o.tm.Now()
+	svcID := o.svc.ID
+	o.mu.Unlock()
+	for _, d := range data {
+		o.tr.Send(from, d)
+	}
+	for _, r := range releases {
+		o.emit("upgrade", fmt.Sprintf("service %s: task %s migrated node %d -> %d", svcID, r.tid, r.node, from))
+		o.tr.Send(r.node, &proto.TaskRelease{ServiceID: svcID, TaskID: r.tid, Reason: "migrated to a closer-to-preference proposal"})
+	}
+}
+
+// TryImprove starts a quality-upgrade renegotiation for the operating
+// coalition: a fresh CFP over all currently served tasks; a task
+// migrates only when some node now offers a level at least ImproveEps
+// closer to the user's preferences than the current one. This realizes
+// the paper's Section 4 run-time adaptation ("applications ... can
+// dynamically change the executing quality level"). It is a no-op
+// unless the coalition is operating and idle.
+func (o *Organizer) TryImprove() {
+	o.mu.Lock()
+	if o.state != Operating || o.improving || o.collect {
+		o.mu.Unlock()
+		return
+	}
+	o.improving = true
+	o.round++
+	round := o.round
+	cfp := &proto.CFP{
+		ServiceID: o.svc.ID,
+		Round:     round,
+		SpecName:  o.svc.Spec.Name,
+		Deadline:  o.tm.Now() + o.cfg.ProposalWait,
+	}
+	for _, t := range o.svc.Tasks {
+		if _, served := o.assigned[t.ID]; !served {
+			continue
+		}
+		cfp.Tasks = append(cfp.Tasks, proto.TaskDescr{
+			TaskID:    t.ID,
+			Request:   t.Request,
+			DemandRef: o.svc.ID + "/" + t.ID,
+			InBytes:   t.InBytes,
+			OutBytes:  t.OutBytes,
+		})
+	}
+	o.collect = true
+	o.cands = make(map[string][]Candidate)
+	o.awarded = make(map[string]Assignment3)
+	o.acked = make(map[string]bool)
+	o.mu.Unlock()
+	if len(cfp.Tasks) == 0 {
+		o.mu.Lock()
+		o.improving = false
+		o.collect = false
+		o.mu.Unlock()
+		return
+	}
+	o.emit("upgrade-cfp", fmt.Sprintf("service %s round %d: probing %d served task(s) for better levels", o.svc.ID, round, len(cfp.Tasks)))
+	o.tr.Broadcast(cfp)
+	o.tr.Send(o.tr.Self(), cfp)
+	o.tm.After(o.cfg.ProposalWait, func() { o.closeImprove(round) })
+}
+
+// closeImprove selects migration targets: the best fresh proposal per
+// served task, accepted only when it beats the current distance by
+// ImproveEps, never from the node already serving the task.
+func (o *Organizer) closeImprove(round int) {
+	o.mu.Lock()
+	if o.state == Dissolved || round != o.round || !o.collect {
+		o.mu.Unlock()
+		return
+	}
+	o.collect = false
+	eps := o.cfg.ImproveEps
+	if eps <= 0 {
+		eps = 0.05
+	}
+	used := make(budget)
+	byNode := make(map[radio.NodeID][]string)
+	for _, t := range o.svc.Tasks {
+		cur, served := o.assigned[t.ID]
+		if !served {
+			continue
+		}
+		ordered := append([]Candidate(nil), o.cands[t.ID]...)
+		sort.Slice(ordered, func(i, j int) bool {
+			return candidateLess(ordered[i], ordered[j], o.cfg.Policy)
+		})
+		for _, c := range ordered {
+			if c.Node == cur.Node || c.Distance > cur.Distance-eps || !used.fits(c) {
+				continue
+			}
+			used.take(c)
+			o.awarded[t.ID] = Assignment3{
+				TaskID: t.ID, Node: c.Node, Level: c.Level,
+				Distance: c.Distance, CommCost: c.CommCost,
+			}
+			byNode[c.Node] = append(byNode[c.Node], t.ID)
+			break
+		}
+	}
+	nodes := make([]radio.NodeID, 0, len(byNode))
+	for n := range byNode {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	svcID := o.svc.ID
+	o.mu.Unlock()
+	for _, n := range nodes {
+		o.tr.Send(n, &proto.Award{ServiceID: svcID, Round: round, TaskIDs: byNode[n]})
+	}
+	o.tm.After(o.cfg.AckWait, func() { o.finishImprove(round) })
+}
+
+// finishImprove closes the improvement window; tasks whose migration
+// award went unacknowledged simply stay where they are.
+func (o *Organizer) finishImprove(round int) {
+	o.mu.Lock()
+	if round == o.round {
+		o.improving = false
+	}
+	o.mu.Unlock()
+}
+
+// finishRound decides whether to renegotiate unassigned tasks or to
+// finish the formation attempt.
+func (o *Organizer) finishRound(round int) {
+	o.mu.Lock()
+	if o.state == Dissolved || round != o.round {
+		o.mu.Unlock()
+		return
+	}
+	pendingLeft := len(o.pending)
+	if pendingLeft > 0 && round+1 < o.cfg.MaxRounds {
+		o.round++
+		o.mu.Unlock()
+		o.startRound()
+		return
+	}
+	res := &Result{
+		ServiceID:         o.svc.ID,
+		Assigned:          make(map[string]Assignment3, len(o.assigned)),
+		Rounds:            round + 1,
+		FormationTime:     o.tm.Now() - o.started,
+		ProposalsReceived: o.proposals,
+	}
+	for tid, a := range o.assigned {
+		res.Assigned[tid] = a
+	}
+	for _, t := range o.svc.Tasks {
+		if _, ok := o.assigned[t.ID]; !ok {
+			res.Unserved = append(res.Unserved, t.ID)
+		}
+	}
+	o.state = Operating
+	startMonitor := o.cfg.Monitor && !o.monitorOn && len(res.Assigned) > 0
+	if startMonitor {
+		o.monitorOn = true
+		now := o.tm.Now()
+		for _, a := range o.assigned {
+			if _, seen := o.lastHB[a.Node]; !seen {
+				o.lastHB[a.Node] = now
+			}
+		}
+	}
+	cb := o.onFormed
+	o.mu.Unlock()
+	o.emit("formed", fmt.Sprintf("service %s: %d/%d tasks on %d member(s) after %d round(s)",
+		res.ServiceID, len(res.Assigned), len(o.svc.Tasks), len(res.Members()), res.Rounds))
+	if cb != nil {
+		cb(res)
+	}
+	if startMonitor {
+		o.monitorTick()
+	}
+}
+
+// onHeartbeat refreshes a member's liveness timestamp.
+func (o *Organizer) onHeartbeat(from radio.NodeID, m *proto.Heartbeat) {
+	if m.ServiceID != o.svc.ID {
+		return
+	}
+	o.mu.Lock()
+	o.lastHB[from] = o.tm.Now()
+	o.mu.Unlock()
+}
+
+// monitorTick supervises the operation phase: members whose heartbeats
+// stopped are declared failed, their tasks orphaned, and — when
+// Reconfigure is set — renegotiated among the remaining nodes.
+func (o *Organizer) monitorTick() {
+	period := o.cfg.HeartbeatTimeout / 2
+	if period <= 0 {
+		period = 0.5
+	}
+	o.tm.After(period, func() {
+		o.mu.Lock()
+		if o.state == Dissolved {
+			o.mu.Unlock()
+			return
+		}
+		now := o.tm.Now()
+		failed := make(map[radio.NodeID]bool)
+		for tid, a := range o.assigned {
+			if a.Node == o.tr.Self() {
+				continue // local execution needs no radio heartbeat
+			}
+			last, ok := o.lastHB[a.Node]
+			if !ok || now-last > o.cfg.HeartbeatTimeout {
+				failed[a.Node] = true
+				delete(o.assigned, tid)
+				o.pending[tid] = true
+			}
+		}
+		renegotiate := false
+		if len(failed) > 0 {
+			o.Failures += len(failed)
+			for n := range failed {
+				delete(o.lastHB, n)
+			}
+			if o.cfg.Reconfigure {
+				o.Reconfigurations++
+				o.round++
+				renegotiate = true
+			}
+		}
+		o.mu.Unlock()
+		if len(failed) > 0 {
+			nodes := make([]radio.NodeID, 0, len(failed))
+			for n := range failed {
+				nodes = append(nodes, n)
+			}
+			sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+			o.emit("failure", fmt.Sprintf("service %s: members %v silent beyond %gs", o.svc.ID, nodes, o.cfg.HeartbeatTimeout))
+		}
+		if renegotiate {
+			o.emit("reconfigure", fmt.Sprintf("service %s: renegotiating orphaned tasks", o.svc.ID))
+			o.startRound()
+		}
+		o.monitorTick()
+	})
+}
+
+// Dissolve terminates the coalition (Section 4 "dissolution"): members
+// are told to release their reservations and monitoring stops.
+func (o *Organizer) Dissolve(reason string) {
+	o.mu.Lock()
+	if o.state == Dissolved {
+		o.mu.Unlock()
+		return
+	}
+	o.state = Dissolved
+	svcID := o.svc.ID
+	o.mu.Unlock()
+	o.emit("dissolve", fmt.Sprintf("service %s: %s", svcID, reason))
+	m := &proto.Dissolve{ServiceID: svcID, Reason: reason}
+	o.tr.Broadcast(m)
+	o.tr.Send(o.tr.Self(), m)
+}
+
+// Assignment returns the current allocation of a task, if any.
+func (o *Organizer) Assignment(taskID string) (Assignment3, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	a, ok := o.assigned[taskID]
+	return a, ok
+}
+
+// Snapshot returns a copy of the current assignments.
+func (o *Organizer) Snapshot() map[string]Assignment3 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make(map[string]Assignment3, len(o.assigned))
+	for k, v := range o.assigned {
+		out[k] = v
+	}
+	return out
+}
+
+// describe is kept for error paths needing a service summary.
+func (o *Organizer) describe() string {
+	return fmt.Sprintf("service %q (%d tasks)", o.svc.ID, len(o.svc.Tasks))
+}

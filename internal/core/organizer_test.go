@@ -1,0 +1,283 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/proto"
+	"repro/internal/qos"
+	"repro/internal/radio"
+	"repro/internal/sim"
+)
+
+// recTransport records everything an organizer sends and lets the test
+// inject replies by hand.
+type recTransport struct {
+	self       radio.NodeID
+	sent       []sentMsg
+	broadcasts []proto.Msg
+	comm       map[radio.NodeID]float64
+}
+
+type sentMsg struct {
+	to radio.NodeID
+	m  proto.Msg
+}
+
+func (r *recTransport) Self() radio.NodeID { return r.self }
+func (r *recTransport) Send(to radio.NodeID, m proto.Msg) {
+	r.sent = append(r.sent, sentMsg{to: to, m: m})
+}
+func (r *recTransport) Broadcast(m proto.Msg) { r.broadcasts = append(r.broadcasts, m) }
+func (r *recTransport) CommCost(to radio.NodeID, _ int64) float64 {
+	if c, ok := r.comm[to]; ok {
+		return c
+	}
+	return 0.01
+}
+
+// harness wires an organizer to a manual clock and recording transport.
+type harness struct {
+	eng *sim.Engine
+	tr  *recTransport
+	org *Organizer
+	res []*Result
+}
+
+func newHarness(t *testing.T, cfg OrganizerConfig) *harness {
+	t.Helper()
+	h := &harness{
+		eng: sim.New(1),
+		tr:  &recTransport{self: 0, comm: map[radio.NodeID]float64{}},
+	}
+	svc := deterministicService()
+	org, err := NewOrganizer(svc, h.tr, simTimers{h.eng}, cfg, func(r *Result) {
+		h.res = append(h.res, r)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.org = org
+	return h
+}
+
+// level returns an admissible level for the deterministic service at the
+// given rate/depth.
+func detLevel(rate int64, depth int64) qos.Level {
+	return qos.Level{
+		{Dim: "q", Attr: "rate"}:  qos.Int(rate),
+		{Dim: "q", Attr: "depth"}: qos.Int(depth),
+	}
+}
+
+func propose(h *harness, from radio.NodeID, round int, level qos.Level, copies int, tasks ...string) {
+	m := &proto.Proposal{ServiceID: "det", Round: round}
+	for _, tid := range tasks {
+		m.Tasks = append(m.Tasks, proto.TaskProposal{TaskID: tid, Level: level, Reward: 1, Copies: copies})
+	}
+	h.org.OnMsg(from, m)
+}
+
+// awardsTo extracts the award sent to a node this round, if any.
+func awardsTo(h *harness, node radio.NodeID) *proto.Award {
+	for _, s := range h.tr.sent {
+		if a, ok := s.m.(*proto.Award); ok && s.to == node {
+			return a
+		}
+	}
+	return nil
+}
+
+func TestOrganizerHappyPath(t *testing.T) {
+	cfg := DefaultOrganizerConfig
+	cfg.Monitor = false
+	h := newHarness(t, cfg)
+	h.org.Start()
+	h.eng.Run(0.1) // deliver Start's events; CFP broadcast + self send
+	if len(h.tr.broadcasts) != 1 {
+		t.Fatalf("broadcasts = %d, want 1 CFP", len(h.tr.broadcasts))
+	}
+	cfp := h.tr.broadcasts[0].(*proto.CFP)
+	if len(cfp.Tasks) != 3 || cfp.Round != 0 {
+		t.Fatalf("cfp = %+v", cfp)
+	}
+	// Node 1 proposes the preferred level for all tasks.
+	propose(h, 1, 0, detLevel(20, 8), 3, "s0", "s1", "s2")
+	h.eng.Run(0.3) // past ProposalWait (awards out) but before AckWait expiry
+	aw := awardsTo(h, 1)
+	if aw == nil || len(aw.TaskIDs) != 3 {
+		t.Fatalf("award = %+v", aw)
+	}
+	// Node 1 accepts everything.
+	h.org.OnMsg(1, &proto.AwardAck{ServiceID: "det", Round: 0, TaskIDs: aw.TaskIDs, OK: true})
+	h.eng.Run(2)
+	if len(h.res) != 1 {
+		t.Fatalf("results = %d", len(h.res))
+	}
+	if !h.res[0].Complete() || h.res[0].Rounds != 1 {
+		t.Fatalf("result = %+v", h.res[0])
+	}
+	// TaskData must have been shipped for each accepted task.
+	data := 0
+	for _, s := range h.tr.sent {
+		if _, ok := s.m.(*proto.TaskData); ok {
+			data++
+		}
+	}
+	if data != 3 {
+		t.Errorf("task data messages = %d, want 3", data)
+	}
+}
+
+func TestOrganizerIgnoresStaleAndBogusProposals(t *testing.T) {
+	cfg := DefaultOrganizerConfig
+	cfg.Monitor = false
+	cfg.MaxRounds = 1
+	h := newHarness(t, cfg)
+	h.org.Start()
+	h.eng.Run(0.1)
+	// Wrong round.
+	propose(h, 1, 5, detLevel(20, 8), 3, "s0")
+	// Wrong service.
+	h.org.OnMsg(2, &proto.Proposal{ServiceID: "other", Round: 0,
+		Tasks: []proto.TaskProposal{{TaskID: "s0", Level: detLevel(20, 8)}}})
+	// Unknown task.
+	propose(h, 3, 0, detLevel(20, 8), 3, "zz")
+	// Inadmissible level (rate outside accepted span).
+	propose(h, 4, 0, detLevel(1, 8), 3, "s0")
+	// Unreachable node.
+	h.tr.comm[5] = math.Inf(1)
+	propose(h, 5, 0, detLevel(20, 8), 3, "s0")
+	h.eng.Run(2)
+	if len(h.res) != 1 {
+		t.Fatalf("results = %d", len(h.res))
+	}
+	if len(h.res[0].Assigned) != 0 || len(h.res[0].Unserved) != 3 {
+		t.Fatalf("bogus proposals were accepted: %+v", h.res[0])
+	}
+	// Late proposal after the formation finished changes nothing.
+	propose(h, 1, 0, detLevel(20, 8), 3, "s0")
+	if len(h.org.Snapshot()) != 0 {
+		t.Error("late proposal mutated assignments")
+	}
+}
+
+func TestOrganizerRenegotiatesDeclines(t *testing.T) {
+	cfg := DefaultOrganizerConfig
+	cfg.Monitor = false
+	h := newHarness(t, cfg)
+	h.org.Start()
+	h.eng.Run(0.1)
+	propose(h, 1, 0, detLevel(20, 8), 3, "s0", "s1", "s2")
+	h.eng.Run(0.3) // awards out, ack window still open
+	aw := awardsTo(h, 1)
+	if aw == nil {
+		t.Fatal("no award")
+	}
+	// Node 1 accepts only s0 (resources changed since proposal).
+	h.org.OnMsg(1, &proto.AwardAck{ServiceID: "det", Round: 0, TaskIDs: []string{"s0"}, OK: false})
+	// Round 1 CFP must go out for the two declined tasks (finishRound(0)
+	// fires at t=0.5 and immediately starts round 1).
+	h.eng.Run(0.55)
+	if len(h.tr.broadcasts) < 2 {
+		t.Fatalf("no renegotiation CFP (broadcasts=%d)", len(h.tr.broadcasts))
+	}
+	cfp2 := h.tr.broadcasts[1].(*proto.CFP)
+	if cfp2.Round != 1 || len(cfp2.Tasks) != 2 {
+		t.Fatalf("round-1 CFP = %+v", cfp2)
+	}
+	// Node 2 serves them.
+	propose(h, 2, 1, detLevel(20, 8), 2, "s1", "s2")
+	h.eng.Run(0.8) // round-1 awards out at t=0.75, ack window open
+	aw2 := awardsTo(h, 2)
+	if aw2 == nil || len(aw2.TaskIDs) != 2 {
+		t.Fatalf("round-1 award = %+v", aw2)
+	}
+	h.org.OnMsg(2, &proto.AwardAck{ServiceID: "det", Round: 1, TaskIDs: aw2.TaskIDs, OK: true})
+	h.eng.Run(3)
+	if len(h.res) != 1 || !h.res[0].Complete() || h.res[0].Rounds != 2 {
+		t.Fatalf("result = %+v", h.res)
+	}
+}
+
+func TestOrganizerIgnoresAckFromWrongNode(t *testing.T) {
+	cfg := DefaultOrganizerConfig
+	cfg.Monitor = false
+	cfg.MaxRounds = 1
+	h := newHarness(t, cfg)
+	h.org.Start()
+	h.eng.Run(0.1)
+	propose(h, 1, 0, detLevel(20, 8), 3, "s0", "s1", "s2")
+	h.eng.Run(0.3)
+	// Node 2 (never awarded) claims acceptance.
+	h.org.OnMsg(2, &proto.AwardAck{ServiceID: "det", Round: 0, TaskIDs: []string{"s0"}, OK: true})
+	h.eng.Run(2)
+	for tid, a := range h.res[0].Assigned {
+		if a.Node == 2 {
+			t.Errorf("task %s assigned to impostor node 2", tid)
+		}
+	}
+}
+
+func TestOrganizerDissolveStopsNegotiation(t *testing.T) {
+	cfg := DefaultOrganizerConfig
+	h := newHarness(t, cfg)
+	h.org.Start()
+	h.eng.Run(0.1)
+	h.org.Dissolve("user cancelled")
+	if h.org.State() != Dissolved {
+		t.Fatal("not dissolved")
+	}
+	// A Dissolve must have been broadcast.
+	found := false
+	for _, m := range h.tr.broadcasts {
+		if _, ok := m.(*proto.Dissolve); ok {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no dissolve broadcast")
+	}
+	// Subsequent rounds and proposals are inert.
+	propose(h, 1, 0, detLevel(20, 8), 3, "s0")
+	h.eng.Run(5)
+	if len(h.res) != 0 {
+		t.Error("formation completed after dissolution")
+	}
+	// Dissolving twice is a no-op.
+	h.org.Dissolve("again")
+}
+
+func TestOrganizerValidatesService(t *testing.T) {
+	tr := &recTransport{self: 0}
+	eng := sim.New(1)
+	svc := deterministicService()
+	svc.Tasks[0].ID = svc.Tasks[1].ID // duplicate
+	if _, err := NewOrganizer(svc, tr, simTimers{eng}, DefaultOrganizerConfig, nil); err == nil {
+		t.Error("invalid service accepted")
+	}
+}
+
+func TestOrganizerMonitorSelfTaskNeedsNoHeartbeat(t *testing.T) {
+	// A task the organizer serves itself must never be declared failed
+	// by the monitor (no radio heartbeat for local execution).
+	cfg := DefaultOrganizerConfig
+	cfg.HeartbeatTimeout = 0.5
+	h := newHarness(t, cfg)
+	h.org.Start()
+	h.eng.Run(0.1)
+	propose(h, 0, 0, detLevel(20, 8), 3, "s0", "s1", "s2") // self-proposal
+	h.eng.Run(0.3)
+	aw := awardsTo(h, 0)
+	if aw == nil {
+		t.Fatal("no self award")
+	}
+	h.org.OnMsg(0, &proto.AwardAck{ServiceID: "det", Round: 0, TaskIDs: aw.TaskIDs, OK: true})
+	h.eng.Run(30) // many heartbeat windows with no heartbeats at all
+	if h.org.Failures != 0 {
+		t.Errorf("monitor declared %d failures for locally served tasks", h.org.Failures)
+	}
+	if len(h.org.Snapshot()) != 3 {
+		t.Errorf("local tasks lost: %v", h.org.Snapshot())
+	}
+}

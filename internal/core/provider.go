@@ -1,0 +1,403 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/proto"
+	"repro/internal/qos"
+	"repro/internal/radio"
+	"repro/internal/resource"
+	"repro/internal/trace"
+)
+
+// ProviderConfig tunes a node's QoS Provider.
+type ProviderConfig struct {
+	// GridSteps discretizes continuous accepted spans (qos.BuildLadder).
+	GridSteps int
+	// Penalty is the reward penalty function (nil = qos.DefaultPenalty).
+	Penalty qos.PenaltyFunc
+	// Hold makes proposals tentatively reserve their demand until
+	// HoldTimeout expires or an award converts them. Without holds a
+	// provider may over-promise across concurrent negotiations and
+	// decline at award time (the organizer then renegotiates).
+	Hold        bool
+	HoldTimeout float64
+	// HeartbeatEvery is the operation-phase liveness period (seconds);
+	// zero disables heartbeats.
+	HeartbeatEvery float64
+	// Trace receives protocol events (nil = no tracing).
+	Trace trace.Tracer
+}
+
+// DefaultProviderConfig is the configuration used by the experiments.
+var DefaultProviderConfig = ProviderConfig{
+	GridSteps:      qos.DefaultGridSteps,
+	HoldTimeout:    2.0,
+	HeartbeatEvery: 0.5,
+}
+
+type offerKey struct {
+	svc   string
+	round int
+	task  string
+}
+
+type serviceState struct {
+	organizer    radio.NodeID
+	reservations map[string]resource.ReservationID // task -> firm reservation
+	running      map[string]bool                   // task -> data received
+	hbActive     bool
+}
+
+// Provider is the paper's QoS Provider: "a server that negotiates access
+// to node's resources ... it will contact the Resource Managers to grant
+// specific resource amounts to the requesting task" (Section 4.1). It
+// answers CFPs with multi-attribute proposals formulated by the local
+// QoS optimization heuristic, converts awards into firm reservations,
+// executes tasks, and emits heartbeats during coalition operation.
+type Provider struct {
+	ID  radio.NodeID
+	Res *resource.Set
+
+	cat *Catalog
+	tr  proto.Transport
+	tm  proto.Timers
+	cfg ProviderConfig
+
+	mu       sync.Mutex
+	offers   map[offerKey]*Formulation
+	services map[string]*serviceState
+	holds    map[offerKey]resource.ReservationID
+	down     bool
+
+	// Stats for the experiments.
+	CFPs      int
+	Proposals int
+	Accepts   int
+	Declines  int
+}
+
+// NewProvider wires a provider to its node's resources, the shared
+// catalog, and a transport/timer pair.
+func NewProvider(id radio.NodeID, res *resource.Set, cat *Catalog, tr proto.Transport, tm proto.Timers, cfg ProviderConfig) *Provider {
+	if cfg.GridSteps <= 0 {
+		cfg.GridSteps = qos.DefaultGridSteps
+	}
+	if cfg.Trace == nil {
+		cfg.Trace = trace.Nop{}
+	}
+	return &Provider{
+		ID: id, Res: res, cat: cat, tr: tr, tm: tm, cfg: cfg,
+		offers:   make(map[offerKey]*Formulation),
+		services: make(map[string]*serviceState),
+		holds:    make(map[offerKey]resource.ReservationID),
+	}
+}
+
+// SetDown marks the provider failed; failed providers ignore all traffic
+// and stop heartbeating (their radio is down too, but timers keep firing).
+func (p *Provider) SetDown(down bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.down = down
+}
+
+// OnMsg dispatches a delivered protocol message to the provider's
+// handlers. Unknown message kinds are ignored (they belong to the
+// organizer role).
+func (p *Provider) OnMsg(from radio.NodeID, m proto.Msg) {
+	p.mu.Lock()
+	if p.down {
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	switch msg := m.(type) {
+	case *proto.CFP:
+		p.onCFP(from, msg)
+	case *proto.Award:
+		p.onAward(from, msg)
+	case *proto.TaskData:
+		p.onTaskData(from, msg)
+	case *proto.TaskRelease:
+		p.onTaskRelease(from, msg)
+	case *proto.Dissolve:
+		p.onDissolve(from, msg)
+	}
+}
+
+// onCFP implements step (2) of the negotiation algorithm: "each QoS
+// Provider contacts its Resource Managers and replies with a
+// multi-attribute proposal".
+func (p *Provider) onCFP(from radio.NodeID, m *proto.CFP) {
+	p.mu.Lock()
+	p.CFPs++
+	p.mu.Unlock()
+	spec, ok := p.cat.Spec(m.SpecName)
+	if !ok {
+		return
+	}
+	reply := &proto.Proposal{ServiceID: m.ServiceID, Round: m.Round}
+	for i := range m.Tasks {
+		td := &m.Tasks[i]
+		dm, ok := p.cat.Demand(td.DemandRef)
+		if !ok {
+			continue
+		}
+		req := td.Request
+		f, err := Formulate(spec, &req, dm, p.Res.CanReserve, p.cfg.GridSteps, p.cfg.Penalty)
+		if err != nil {
+			continue
+		}
+		key := offerKey{svc: m.ServiceID, round: m.Round, task: td.TaskID}
+		p.mu.Lock()
+		p.offers[key] = f
+		p.mu.Unlock()
+		if p.cfg.Hold {
+			p.placeHold(key, f)
+		}
+		reply.Tasks = append(reply.Tasks, proto.TaskProposal{
+			TaskID: td.TaskID, Level: f.Level, Reward: f.Reward,
+			Copies: copiesFor(p.Res.Available(), f.Demand),
+		})
+	}
+	if len(reply.Tasks) == 0 {
+		p.emit("no-offer", fmt.Sprintf("service %s round %d: nothing schedulable", m.ServiceID, m.Round))
+		return
+	}
+	p.mu.Lock()
+	p.Proposals++
+	p.mu.Unlock()
+	p.emit("propose", fmt.Sprintf("service %s round %d: %d task(s)", m.ServiceID, m.Round, len(reply.Tasks)))
+	p.tr.Send(from, reply)
+}
+
+// emit publishes a trace event stamped with this provider's clock.
+func (p *Provider) emit(kind, detail string) {
+	p.cfg.Trace.Emit(trace.Event{
+		T: p.tm.Now(), Node: int(p.ID), Role: "provider", Kind: kind, Detail: detail,
+	})
+}
+
+// copiesFor computes the capacity hint: the largest k such that k copies
+// of demand fit in avail, capped at 64 for mains-powered giants.
+func copiesFor(avail, demand resource.Vector) int {
+	k := 64
+	for i := range demand {
+		if demand[i] <= 0 {
+			continue
+		}
+		fit := int(avail[i] / demand[i])
+		if fit < k {
+			k = fit
+		}
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+func (p *Provider) placeHold(key offerKey, f *Formulation) {
+	id := resource.ReservationID(fmt.Sprintf("hold:%s/%d/%s@%d", key.svc, key.round, key.task, p.ID))
+	if err := p.Res.Reserve(id, f.Demand); err != nil {
+		return // hold is best-effort; award-time reservation still decides
+	}
+	p.mu.Lock()
+	p.holds[key] = id
+	p.mu.Unlock()
+	timeout := p.cfg.HoldTimeout
+	if timeout <= 0 {
+		timeout = 2.0
+	}
+	p.tm.After(timeout, func() {
+		p.mu.Lock()
+		held, ok := p.holds[key]
+		if ok && held == id {
+			delete(p.holds, key)
+		}
+		p.mu.Unlock()
+		if ok {
+			p.Res.Release(id)
+		}
+	})
+}
+
+// onAward converts remembered offers into firm reservations and
+// acknowledges which tasks the node actually accepted.
+func (p *Provider) onAward(from radio.NodeID, m *proto.Award) {
+	var accepted []string
+	var declined []string
+	for _, tid := range m.TaskIDs {
+		key := offerKey{svc: m.ServiceID, round: m.Round, task: tid}
+		p.mu.Lock()
+		f, ok := p.offers[key]
+		holdID, held := p.holds[key]
+		if held {
+			delete(p.holds, key)
+		}
+		p.mu.Unlock()
+		if held {
+			p.Res.Release(holdID)
+		}
+		if !ok {
+			declined = append(declined, tid)
+			continue
+		}
+		firm := resource.ReservationID(m.ServiceID + "/" + tid)
+		if err := p.Res.Reserve(firm, f.Demand); err != nil {
+			declined = append(declined, tid)
+			continue
+		}
+		accepted = append(accepted, tid)
+		p.mu.Lock()
+		st := p.serviceStateLocked(m.ServiceID)
+		st.organizer = from
+		st.reservations[tid] = firm
+		p.mu.Unlock()
+	}
+	p.mu.Lock()
+	p.Accepts += len(accepted)
+	p.Declines += len(declined)
+	p.mu.Unlock()
+	ack := &proto.AwardAck{
+		ServiceID: m.ServiceID, Round: m.Round,
+		TaskIDs: accepted, OK: len(declined) == 0,
+	}
+	if len(declined) > 0 {
+		ack.Reason = fmt.Sprintf("declined %d of %d tasks (resources changed since proposal)", len(declined), len(m.TaskIDs))
+		p.emit("decline", fmt.Sprintf("service %s: %v", m.ServiceID, declined))
+	}
+	if len(accepted) > 0 {
+		p.emit("reserve", fmt.Sprintf("service %s: %v", m.ServiceID, accepted))
+	}
+	p.tr.Send(from, ack)
+}
+
+// onTaskData marks the task running and starts the heartbeat loop; in a
+// real deployment this is where execution would begin.
+func (p *Provider) onTaskData(from radio.NodeID, m *proto.TaskData) {
+	p.mu.Lock()
+	st := p.serviceStateLocked(m.ServiceID)
+	if _, reserved := st.reservations[m.TaskID]; !reserved {
+		p.mu.Unlock()
+		return
+	}
+	st.running[m.TaskID] = true
+	start := p.cfg.HeartbeatEvery > 0 && !st.hbActive
+	if start {
+		st.hbActive = true
+	}
+	p.mu.Unlock()
+	if start {
+		p.heartbeatLoop(m.ServiceID)
+	}
+}
+
+func (p *Provider) heartbeatLoop(svc string) {
+	p.tm.After(p.cfg.HeartbeatEvery, func() {
+		p.mu.Lock()
+		st, ok := p.services[svc]
+		if !ok || p.down || len(st.running) == 0 {
+			if ok {
+				st.hbActive = false
+			}
+			p.mu.Unlock()
+			return
+		}
+		tasks := make([]string, 0, len(st.running))
+		for tid := range st.running {
+			tasks = append(tasks, tid)
+		}
+		org := st.organizer
+		p.mu.Unlock()
+		p.tr.Send(org, &proto.Heartbeat{ServiceID: svc, TaskIDs: tasks})
+		p.heartbeatLoop(svc)
+	})
+}
+
+// onTaskRelease frees one task's reservation without touching the rest
+// of the service (quality-upgrade migration).
+func (p *Provider) onTaskRelease(_ radio.NodeID, m *proto.TaskRelease) {
+	p.mu.Lock()
+	st, ok := p.services[m.ServiceID]
+	var id resource.ReservationID
+	if ok {
+		id, ok = st.reservations[m.TaskID]
+		if ok {
+			delete(st.reservations, m.TaskID)
+			delete(st.running, m.TaskID)
+		}
+	}
+	p.mu.Unlock()
+	if ok {
+		p.Res.Release(id)
+		p.emit("release", fmt.Sprintf("service %s task %s: %s", m.ServiceID, m.TaskID, m.Reason))
+	}
+}
+
+// onDissolve releases every reservation held for the service.
+func (p *Provider) onDissolve(_ radio.NodeID, m *proto.Dissolve) {
+	p.ReleaseService(m.ServiceID)
+	p.emit("dissolve", fmt.Sprintf("service %s: %s", m.ServiceID, m.Reason))
+}
+
+// ReleaseService frees all firm reservations and state for a service
+// (dissolution, or local cleanup in tests).
+func (p *Provider) ReleaseService(svc string) {
+	p.mu.Lock()
+	st, ok := p.services[svc]
+	if ok {
+		delete(p.services, svc)
+	}
+	for key := range p.offers {
+		if key.svc == svc {
+			delete(p.offers, key)
+		}
+	}
+	var holdIDs []resource.ReservationID
+	for key, id := range p.holds {
+		if key.svc == svc {
+			holdIDs = append(holdIDs, id)
+			delete(p.holds, key)
+		}
+	}
+	p.mu.Unlock()
+	for _, id := range holdIDs {
+		p.Res.Release(id)
+	}
+	if ok {
+		for _, id := range st.reservations {
+			p.Res.Release(id)
+		}
+	}
+}
+
+// RunningTasks returns the service's tasks currently marked running,
+// for assertions in tests and experiments.
+func (p *Provider) RunningTasks(svc string) []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.services[svc]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(st.running))
+	for tid := range st.running {
+		out = append(out, tid)
+	}
+	return out
+}
+
+func (p *Provider) serviceStateLocked(svc string) *serviceState {
+	st, ok := p.services[svc]
+	if !ok {
+		st = &serviceState{
+			reservations: make(map[string]resource.ReservationID),
+			running:      make(map[string]bool),
+		}
+		p.services[svc] = st
+	}
+	return st
+}

@@ -1,0 +1,299 @@
+// Package live runs the coalition formation protocol over real
+// concurrency: every node is a goroutine (the agent), radio links are
+// buffered channels, and latency is modeled with scaled wall-clock
+// timers. The protocol state machines are exactly the ones the simulator
+// runs (internal/core); only the transport and timers differ, which is
+// how experiment E10 checks runtime equivalence.
+package live
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+	"repro/internal/radio"
+	"repro/internal/resource"
+	"repro/internal/task"
+)
+
+// envelope is one in-flight message.
+type envelope struct {
+	from radio.NodeID
+	msg  proto.Msg
+}
+
+// Config tunes the runtime.
+type Config struct {
+	// TimeScale converts virtual seconds (the protocol's time base) to
+	// wall-clock: wall = virtual * TimeScale. Default 0.02 (a 0.25 s
+	// proposal window becomes 5 ms of wall time).
+	TimeScale float64
+	// InboxDepth is each node's channel buffer; overflowing messages are
+	// dropped like a saturated radio (default 256).
+	InboxDepth int
+	// Provider configures every node's QoS Provider.
+	Provider core.ProviderConfig
+}
+
+// Runtime hosts the goroutine nodes.
+type Runtime struct {
+	cfg     Config
+	catalog *core.Catalog
+	start   time.Time
+
+	mu    sync.RWMutex
+	nodes map[radio.NodeID]*Node
+
+	// Sent, Delivered and Dropped count message traffic.
+	Sent      atomic.Uint64
+	Delivered atomic.Uint64
+	Dropped   atomic.Uint64
+}
+
+// Node is one live agent.
+type Node struct {
+	ID       radio.NodeID
+	Pos      radio.Pos
+	RangeM   float64
+	Bitrate  float64
+	Res      *resource.Set
+	Provider *core.Provider
+
+	rt         *Runtime
+	inbox      chan envelope
+	quit       chan struct{}
+	done       chan struct{}
+	orgMu      sync.Mutex
+	organizers map[string]*core.Organizer
+}
+
+// NewRuntime builds an empty runtime.
+func NewRuntime(cfg Config) *Runtime {
+	if cfg.TimeScale <= 0 {
+		cfg.TimeScale = 0.02
+	}
+	if cfg.InboxDepth <= 0 {
+		cfg.InboxDepth = 256
+	}
+	return &Runtime{
+		cfg:     cfg,
+		catalog: core.NewCatalog(),
+		start:   time.Now(),
+		nodes:   make(map[radio.NodeID]*Node),
+	}
+}
+
+// Catalog exposes the shared application catalog.
+func (rt *Runtime) Catalog() *core.Catalog { return rt.catalog }
+
+// liveTimers adapts wall-clock time to the protocol's virtual seconds.
+type liveTimers struct{ rt *Runtime }
+
+func (t liveTimers) Now() float64 {
+	return time.Since(t.rt.start).Seconds() / t.rt.cfg.TimeScale
+}
+
+func (t liveTimers) After(d float64, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	time.AfterFunc(time.Duration(d*t.rt.cfg.TimeScale*float64(time.Second)), fn)
+}
+
+// liveTransport sends through channels with modeled latency.
+type liveTransport struct {
+	rt *Runtime
+	id radio.NodeID
+}
+
+func (t liveTransport) Self() radio.NodeID { return t.id }
+
+func (t liveTransport) Send(to radio.NodeID, m proto.Msg) {
+	t.rt.send(t.id, to, m)
+}
+
+func (t liveTransport) Broadcast(m proto.Msg) {
+	t.rt.mu.RLock()
+	src, ok := t.rt.nodes[t.id]
+	var dests []*Node
+	if ok {
+		for _, n := range t.rt.nodes {
+			if n.ID != t.id && inRange(src, n) {
+				dests = append(dests, n)
+			}
+		}
+	}
+	t.rt.mu.RUnlock()
+	for _, n := range dests {
+		t.rt.send(t.id, n.ID, m)
+	}
+}
+
+func (t liveTransport) CommCost(to radio.NodeID, size int64) float64 {
+	if to == t.id {
+		return 0
+	}
+	t.rt.mu.RLock()
+	defer t.rt.mu.RUnlock()
+	src, okA := t.rt.nodes[t.id]
+	dst, okB := t.rt.nodes[to]
+	if !okA || !okB || !inRange(src, dst) {
+		return math.Inf(1)
+	}
+	rate := math.Min(src.Bitrate, dst.Bitrate)
+	return float64(size*8) / rate
+}
+
+func inRange(a, b *Node) bool {
+	return a.Pos.Dist(b.Pos) <= math.Min(a.RangeM, b.RangeM)
+}
+
+// send models latency with a timer, then posts to the destination inbox.
+func (rt *Runtime) send(from, to radio.NodeID, m proto.Msg) {
+	rt.Sent.Add(1)
+	rt.mu.RLock()
+	src, okA := rt.nodes[from]
+	dst, okB := rt.nodes[to]
+	rt.mu.RUnlock()
+	if !okA || !okB {
+		rt.Dropped.Add(1)
+		return
+	}
+	var latency float64 // virtual seconds
+	if from != to {
+		if !inRange(src, dst) {
+			rt.Dropped.Add(1)
+			return
+		}
+		rate := math.Min(src.Bitrate, dst.Bitrate)
+		latency = float64(m.WireSize()*8) / rate
+	}
+	deliver := func() {
+		select {
+		case dst.inbox <- envelope{from: from, msg: m}:
+			rt.Delivered.Add(1)
+		default:
+			rt.Dropped.Add(1)
+		}
+	}
+	if latency <= 0 {
+		deliver()
+		return
+	}
+	liveTimers{rt}.After(latency, deliver)
+}
+
+// AddNode spawns a node goroutine.
+func (rt *Runtime) AddNode(id radio.NodeID, pos radio.Pos, rangeM, bitrate float64, capacity resource.Vector) (*Node, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if _, dup := rt.nodes[id]; dup {
+		return nil, fmt.Errorf("live: node %d already exists", id)
+	}
+	n := &Node{
+		ID: id, Pos: pos, RangeM: rangeM, Bitrate: bitrate,
+		Res:        resource.NewSet(capacity),
+		rt:         rt,
+		inbox:      make(chan envelope, rt.cfg.InboxDepth),
+		quit:       make(chan struct{}),
+		done:       make(chan struct{}),
+		organizers: make(map[string]*core.Organizer),
+	}
+	n.Provider = core.NewProvider(id, n.Res, rt.catalog, liveTransport{rt: rt, id: id}, liveTimers{rt}, rt.cfg.Provider)
+	rt.nodes[id] = n
+	go n.loop()
+	return n, nil
+}
+
+// loop is the agent goroutine: it drains the inbox and dispatches
+// messages to the provider or the owning organizer.
+func (n *Node) loop() {
+	defer close(n.done)
+	for {
+		select {
+		case <-n.quit:
+			return
+		case env := <-n.inbox:
+			n.dispatch(env.from, env.msg)
+		}
+	}
+}
+
+func (n *Node) dispatch(from radio.NodeID, m proto.Msg) {
+	switch msg := m.(type) {
+	case *proto.Proposal:
+		if o := n.organizer(msg.ServiceID); o != nil {
+			o.OnMsg(from, m)
+		}
+	case *proto.AwardAck:
+		if o := n.organizer(msg.ServiceID); o != nil {
+			o.OnMsg(from, m)
+		}
+	case *proto.Heartbeat:
+		if o := n.organizer(msg.ServiceID); o != nil {
+			o.OnMsg(from, m)
+		}
+	default:
+		n.Provider.OnMsg(from, m)
+	}
+}
+
+func (n *Node) organizer(svc string) *core.Organizer {
+	n.orgMu.Lock()
+	defer n.orgMu.Unlock()
+	return n.organizers[svc]
+}
+
+// Submit starts a negotiation from this node; onFormed fires on each
+// completed (re)formation attempt, from a timer goroutine.
+func (n *Node) Submit(svc *task.Service, cfg core.OrganizerConfig, onFormed func(*core.Result)) (*core.Organizer, error) {
+	if err := n.rt.catalog.RegisterService(svc); err != nil {
+		return nil, err
+	}
+	o, err := core.NewOrganizer(svc, liveTransport{rt: n.rt, id: n.ID}, liveTimers{n.rt}, cfg, onFormed)
+	if err != nil {
+		return nil, err
+	}
+	n.orgMu.Lock()
+	if _, dup := n.organizers[svc.ID]; dup {
+		n.orgMu.Unlock()
+		return nil, fmt.Errorf("live: node %d already organizes %q", n.ID, svc.ID)
+	}
+	n.organizers[svc.ID] = o
+	n.orgMu.Unlock()
+	o.Start()
+	return o, nil
+}
+
+// Node returns a node by ID, or nil.
+func (rt *Runtime) Node(id radio.NodeID) *Node {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.nodes[id]
+}
+
+// Shutdown stops all node goroutines and waits for them to drain.
+func (rt *Runtime) Shutdown() {
+	rt.mu.Lock()
+	nodes := make([]*Node, 0, len(rt.nodes))
+	for _, n := range rt.nodes {
+		nodes = append(nodes, n)
+	}
+	rt.mu.Unlock()
+	for _, n := range nodes {
+		close(n.quit)
+	}
+	for _, n := range nodes {
+		<-n.done
+	}
+}
+
+// VirtualSleep blocks for d virtual seconds of wall time; tests use it to
+// wait out negotiation windows.
+func (rt *Runtime) VirtualSleep(d float64) {
+	time.Sleep(time.Duration(d * rt.cfg.TimeScale * float64(time.Second)))
+}

@@ -1,0 +1,75 @@
+package qos
+
+import "testing"
+
+func BenchmarkDistance(b *testing.B) {
+	e, err := NewEvaluator(paperSpec(), paperRequest())
+	if err != nil {
+		b.Fatal(err)
+	}
+	l := Level{
+		{Dim: "video", Attr: "frame_rate"}:    Int(7),
+		{Dim: "video", Attr: "color_depth"}:   Int(1),
+		{Dim: "audio", Attr: "sampling_rate"}: Int(8),
+		{Dim: "audio", Attr: "sample_bits"}:   Int(8),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Distance(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAdmits(b *testing.B) {
+	r := paperRequest()
+	l := Level{
+		{Dim: "video", Attr: "frame_rate"}:    Int(7),
+		{Dim: "video", Attr: "color_depth"}:   Int(1),
+		{Dim: "audio", Attr: "sampling_rate"}: Int(8),
+		{Dim: "audio", Attr: "sample_bits"}:   Int(8),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !r.Admits(l) {
+			b.Fatal("should admit")
+		}
+	}
+}
+
+func BenchmarkBuildLadder(b *testing.B) {
+	spec, req := paperSpec(), paperRequest()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildLadder(spec, req, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReward(b *testing.B) {
+	ld, err := BuildLadder(paperSpec(), paperRequest(), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := ld.NewAssignment()
+	a[0] = 2
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Reward(ld, a, nil)
+	}
+}
+
+func BenchmarkSpecJSONRoundTrip(b *testing.B) {
+	s := paperSpec()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf, err := EncodeSpec(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := DecodeSpec(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package qos
+
+import (
+	"fmt"
+	"math"
+)
+
+// Evaluator computes the multi-attribute proposal evaluation of Section 6:
+//
+//	distance = sum_k w_k * dist(Q_k)                  (eq. 2)
+//	w_k      = (n-k+1)/n                              (eq. 3)
+//	dist(Qk) = sum_i w_i * dif(Prop_ki, Pref_ki)      (eq. 4)
+//
+// with dif the normalized value difference (continuous domains) or the
+// normalized quality-index difference (discrete domains) of eq. 5. The
+// paper leaves the intra-dimension attribute weights w_i implicit; we use
+// the formula analogous to eq. 3, w_i = (attr_k-i+1)/attr_k.
+//
+// The paper's eq. 5 is a signed difference; a proposal strictly better
+// than the preference would produce a negative term. By default the
+// evaluator uses the absolute difference so that distance is a metric and
+// the best proposal (lowest evaluation) is the one closest to the
+// preferences in either direction; set Signed to recover the paper's raw
+// form.
+type Evaluator struct {
+	Spec   *Spec
+	Req    *Request
+	Signed bool
+}
+
+// NewEvaluator builds an evaluator after validating the request against
+// the spec.
+func NewEvaluator(spec *Spec, req *Request) (*Evaluator, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := req.Validate(spec); err != nil {
+		return nil, err
+	}
+	return &Evaluator{Spec: spec, Req: req}, nil
+}
+
+// DimDistance is the per-dimension breakdown of an evaluation.
+type DimDistance struct {
+	Dim      string
+	Weight   float64
+	Distance float64
+}
+
+// Distance evaluates a proposal level against the user's preferences.
+// The proposal must be admissible (Req.Admits and spec dependencies);
+// inadmissible proposals return an error, mirroring the paper's rule that
+// only admissible proposals are evaluated.
+func (e *Evaluator) Distance(prop Level) (float64, error) {
+	d, _, err := e.distance(prop, false)
+	return d, err
+}
+
+// DistanceBreakdown evaluates a proposal and also returns the weighted
+// per-dimension contributions, for diagnostics and the qosim CLI.
+func (e *Evaluator) DistanceBreakdown(prop Level) (float64, []DimDistance, error) {
+	return e.distance(prop, true)
+}
+
+func (e *Evaluator) distance(prop Level, breakdown bool) (float64, []DimDistance, error) {
+	if !e.Req.Admits(prop) {
+		return 0, nil, fmt.Errorf("qos: proposal %v is not admissible for request %q", prop, e.Req.Service)
+	}
+	if ok, di := e.Spec.DepsSatisfied(prop); !ok {
+		return 0, nil, fmt.Errorf("qos: proposal %v violates dependency %d of spec %q", prop, di, e.Spec.Name)
+	}
+	n := len(e.Req.Dims)
+	var total float64
+	var dims []DimDistance
+	for k, dp := range e.Req.Dims {
+		wk := float64(n-k) / float64(n) // (n-(k+1)+1)/n with k 0-based
+		ak := len(dp.Attrs)
+		var dd float64
+		for i, ap := range dp.Attrs {
+			wi := float64(ak-i) / float64(ak)
+			key := AttrKey{Dim: dp.Dim, Attr: ap.Attr}
+			pref, _ := e.Req.PreferredValue(key)
+			dif, err := e.Dif(key, prop[key], pref)
+			if err != nil {
+				return 0, nil, err
+			}
+			dd += wi * dif
+		}
+		total += wk * dd
+		if breakdown {
+			dims = append(dims, DimDistance{Dim: dp.Dim, Weight: wk, Distance: dd})
+		}
+	}
+	return total, dims, nil
+}
+
+// Dif computes eq. 5 for one attribute: the degree of acceptability of the
+// proposed value compared to the preferred one, normalized to [0,1] over
+// the attribute's domain (absolute value unless Signed).
+func (e *Evaluator) Dif(key AttrKey, prop, pref Value) (float64, error) {
+	attr := e.Spec.Attr(key)
+	if attr == nil {
+		return 0, fmt.Errorf("qos: unknown attribute %v", key)
+	}
+	w := attr.Domain.Width()
+	if w == 0 {
+		return 0, nil
+	}
+	var d float64
+	if attr.Domain.Kind == Continuous {
+		d = (prop.Num() - pref.Num()) / w
+	} else {
+		pi := attr.Domain.IndexOf(prop)
+		qi := attr.Domain.IndexOf(pref)
+		if pi < 0 || qi < 0 {
+			return 0, fmt.Errorf("qos: value outside discrete domain of %v", key)
+		}
+		d = float64(pi-qi) / w
+	}
+	if !e.Signed {
+		d = math.Abs(d)
+	}
+	return d, nil
+}
+
+// MaxDistance returns an upper bound of the evaluation value for this
+// request: the distance each dif term would contribute if it were 1.
+// Useful for normalizing distances into [0,1] utilities.
+func (e *Evaluator) MaxDistance() float64 {
+	n := len(e.Req.Dims)
+	var total float64
+	for k, dp := range e.Req.Dims {
+		wk := float64(n-k) / float64(n)
+		ak := len(dp.Attrs)
+		for i := range dp.Attrs {
+			total += wk * float64(ak-i) / float64(ak)
+		}
+	}
+	return total
+}
+
+// Utility maps a distance into a [0,1] utility (1 = exactly the preferred
+// level), convenient for reporting "user perceived utility".
+func (e *Evaluator) Utility(distance float64) float64 {
+	m := e.MaxDistance()
+	if m == 0 {
+		return 1
+	}
+	u := 1 - distance/m
+	if u < 0 {
+		return 0
+	}
+	if u > 1 {
+		return 1
+	}
+	return u
+}

@@ -1,0 +1,75 @@
+package qos
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatRequest renders a request in the paper's Section 3.1 notation:
+//
+//  1. Video Quality
+//     (a) frame rate: [10,...,5], [4,...,1]
+//     (b) color depth: 3, 1
+//  2. Audio Quality
+//     (a) sampling rate: 8
+//     (b) sample bits: 8
+//
+// spec supplies display names; pass nil to fall back to IDs.
+func FormatRequest(spec *Spec, r *Request) string {
+	var b strings.Builder
+	for k, dp := range r.Dims {
+		name := dp.Dim
+		if spec != nil {
+			if d := spec.Dimension(dp.Dim); d != nil && d.Name != "" {
+				name = d.Name
+			}
+		}
+		fmt.Fprintf(&b, "%d. %s\n", k+1, name)
+		for i, ap := range dp.Attrs {
+			attrName := ap.Attr
+			if spec != nil {
+				if a := spec.Attr(AttrKey{Dim: dp.Dim, Attr: ap.Attr}); a != nil && a.Name != "" {
+					attrName = a.Name
+				}
+			}
+			fmt.Fprintf(&b, "   (%c) %s: ", 'a'+i, attrName)
+			for j, set := range ap.Sets {
+				if j > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(set.String())
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// FormatLevel renders a level against the request's importance order,
+// annotating each attribute with its preference depth ("choice 1 of 3").
+func FormatLevel(spec *Spec, r *Request, l Level) string {
+	ladder, err := BuildLadder(spec, r, DefaultGridSteps)
+	if err != nil {
+		return l.String()
+	}
+	var b strings.Builder
+	for _, la := range ladder.Attrs {
+		v, ok := l[la.Key]
+		if !ok {
+			continue
+		}
+		depth := -1
+		for i, c := range la.Choices {
+			if c.Equal(v) {
+				depth = i
+				break
+			}
+		}
+		if depth < 0 {
+			fmt.Fprintf(&b, "%s=%s (off-ladder)\n", la.Key, v)
+			continue
+		}
+		fmt.Fprintf(&b, "%s=%s (choice %d of %d)\n", la.Key, v, depth+1, len(la.Choices))
+	}
+	return b.String()
+}

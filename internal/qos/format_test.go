@@ -1,0 +1,54 @@
+package qos
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatRequestMatchesPaperNotation(t *testing.T) {
+	out := FormatRequest(paperSpec(), paperRequest())
+	want := []string{
+		"1. Video Quality",
+		"(a) frame_rate: [10,...,5], [4,...,1]",
+		"(b) color_depth: 3, 1",
+		"2. Audio Quality",
+		"(a) sampling_rate: 8",
+		"(b) sample_bits: 8",
+	}
+	for _, w := range want {
+		if !strings.Contains(out, w) {
+			t.Errorf("output missing %q:\n%s", w, out)
+		}
+	}
+	// Video must come before audio (importance order preserved).
+	if strings.Index(out, "Video") > strings.Index(out, "Audio") {
+		t.Error("dimension order lost")
+	}
+	// nil spec falls back to IDs.
+	out2 := FormatRequest(nil, paperRequest())
+	if !strings.Contains(out2, "1. video") {
+		t.Errorf("nil-spec fallback broken:\n%s", out2)
+	}
+}
+
+func TestFormatLevelDepths(t *testing.T) {
+	l := Level{
+		{Dim: "video", Attr: "frame_rate"}:    Int(10),
+		{Dim: "video", Attr: "color_depth"}:   Int(1),
+		{Dim: "audio", Attr: "sampling_rate"}: Int(8),
+		{Dim: "audio", Attr: "sample_bits"}:   Int(8),
+	}
+	out := FormatLevel(paperSpec(), paperRequest(), l)
+	if !strings.Contains(out, "video/frame_rate=10 (choice 1 of") {
+		t.Errorf("preferred frame rate not marked choice 1:\n%s", out)
+	}
+	if !strings.Contains(out, "video/color_depth=1 (choice 2 of 2)") {
+		t.Errorf("degraded color depth not marked choice 2:\n%s", out)
+	}
+	// Off-ladder values are labelled, not dropped.
+	l[AttrKey{Dim: "video", Attr: "frame_rate"}] = Int(29)
+	out = FormatLevel(paperSpec(), paperRequest(), l)
+	if !strings.Contains(out, "off-ladder") {
+		t.Errorf("off-ladder value not labelled:\n%s", out)
+	}
+}

@@ -1,0 +1,302 @@
+package qos
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// This file provides a stable JSON wire format for specs and requests so
+// that cmd/qosspec can validate externally authored files and so that
+// service descriptions can be exchanged between nodes in a
+// platform-neutral form.
+
+// MarshalJSON encodes a Value as a bare JSON scalar.
+func (v Value) MarshalJSON() ([]byte, error) {
+	switch v.Type {
+	case TypeInt:
+		return json.Marshal(v.I)
+	case TypeFloat:
+		return json.Marshal(v.F)
+	default:
+		return json.Marshal(v.S)
+	}
+}
+
+// UnmarshalJSON decodes a bare JSON scalar into a Value. JSON numbers
+// with no fractional part decode as integers, consistent with the specs
+// authored in this repo; float domains accept either form because
+// Domain-aware decoding normalizes via coerce.
+func (v *Value) UnmarshalJSON(b []byte) error {
+	var raw any
+	d := json.NewDecoder(bytes.NewReader(b))
+	d.UseNumber()
+	if err := d.Decode(&raw); err != nil {
+		return err
+	}
+	switch x := raw.(type) {
+	case json.Number:
+		if i, err := x.Int64(); err == nil {
+			*v = Int(i)
+			return nil
+		}
+		f, err := x.Float64()
+		if err != nil {
+			return err
+		}
+		*v = Float(f)
+		return nil
+	case string:
+		*v = Str(x)
+		return nil
+	default:
+		return fmt.Errorf("qos: cannot decode %T as Value", raw)
+	}
+}
+
+// coerce converts a decoded Value to the type the domain declares, so
+// that e.g. "8" in a float domain compares equal to Float(8).
+func (d Domain) coerce(v Value) Value {
+	if v.Type == d.Type {
+		return v
+	}
+	switch {
+	case d.Type == TypeFloat && v.Type == TypeInt:
+		return Float(float64(v.I))
+	case d.Type == TypeInt && v.Type == TypeFloat && v.F == float64(int64(v.F)):
+		return Int(int64(v.F))
+	}
+	return v
+}
+
+type domainJSON struct {
+	Kind   string  `json:"kind"`
+	Type   string  `json:"type"`
+	Values []Value `json:"values,omitempty"`
+	Min    float64 `json:"min,omitempty"`
+	Max    float64 `json:"max,omitempty"`
+}
+
+type attrJSON struct {
+	ID     string     `json:"id"`
+	Name   string     `json:"name,omitempty"`
+	Domain domainJSON `json:"domain"`
+}
+
+type dimJSON struct {
+	ID         string     `json:"id"`
+	Name       string     `json:"name,omitempty"`
+	Attributes []attrJSON `json:"attributes"`
+}
+
+type depJSON struct {
+	Kind  string  `json:"kind"`
+	A     string  `json:"a"` // "dim/attr"
+	B     string  `json:"b"`
+	AVal  *Value  `json:"aval,omitempty"`
+	BSet  []Value `json:"bset,omitempty"`
+	Bound float64 `json:"bound,omitempty"`
+}
+
+type specJSON struct {
+	Name       string    `json:"name"`
+	Dimensions []dimJSON `json:"dimensions"`
+	Deps       []depJSON `json:"deps,omitempty"`
+}
+
+func typeName(t ValueType) string { return t.String() }
+
+func parseType(s string) (ValueType, error) {
+	switch s {
+	case "integer", "int":
+		return TypeInt, nil
+	case "float":
+		return TypeFloat, nil
+	case "string":
+		return TypeString, nil
+	}
+	return 0, fmt.Errorf("qos: unknown value type %q", s)
+}
+
+func parseAttrKey(s string) (AttrKey, error) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '/' {
+			return AttrKey{Dim: s[:i], Attr: s[i+1:]}, nil
+		}
+	}
+	return AttrKey{}, fmt.Errorf("qos: attribute reference %q is not of the form dim/attr", s)
+}
+
+// EncodeSpec renders the spec as indented JSON.
+func EncodeSpec(s *Spec) ([]byte, error) {
+	js := specJSON{Name: s.Name}
+	for _, d := range s.Dimensions {
+		dj := dimJSON{ID: d.ID, Name: d.Name}
+		for _, a := range d.Attributes {
+			aj := attrJSON{ID: a.ID, Name: a.Name, Domain: domainJSON{
+				Kind: a.Domain.Kind.String(),
+				Type: typeName(a.Domain.Type),
+			}}
+			if a.Domain.Kind == Discrete {
+				aj.Domain.Values = a.Domain.Values
+			} else {
+				aj.Domain.Min, aj.Domain.Max = a.Domain.Min, a.Domain.Max
+			}
+			dj.Attributes = append(dj.Attributes, aj)
+		}
+		js.Dimensions = append(js.Dimensions, dj)
+	}
+	for _, dep := range s.Deps {
+		dj := depJSON{A: dep.A.String(), B: dep.B.String(), Bound: dep.Bound}
+		switch dep.Kind {
+		case DepRequires:
+			dj.Kind = "requires"
+			av := dep.AVal
+			dj.AVal = &av
+			dj.BSet = dep.BSet
+		case DepMaxSum:
+			dj.Kind = "maxsum"
+		case DepMaxProduct:
+			dj.Kind = "maxproduct"
+		}
+		js.Deps = append(js.Deps, dj)
+	}
+	return json.MarshalIndent(js, "", "  ")
+}
+
+// DecodeSpec parses and validates a JSON spec.
+func DecodeSpec(b []byte) (*Spec, error) {
+	var js specJSON
+	if err := json.Unmarshal(b, &js); err != nil {
+		return nil, fmt.Errorf("qos: decoding spec: %w", err)
+	}
+	s := &Spec{Name: js.Name}
+	for _, dj := range js.Dimensions {
+		d := Dimension{ID: dj.ID, Name: dj.Name}
+		for _, aj := range dj.Attributes {
+			t, err := parseType(aj.Domain.Type)
+			if err != nil {
+				return nil, err
+			}
+			dom := Domain{Type: t}
+			switch aj.Domain.Kind {
+			case "discrete":
+				dom.Kind = Discrete
+				for _, v := range aj.Domain.Values {
+					dom.Values = append(dom.Values, dom.coerce(v))
+				}
+			case "continuous":
+				dom.Kind = Continuous
+				dom.Min, dom.Max = aj.Domain.Min, aj.Domain.Max
+			default:
+				return nil, fmt.Errorf("qos: unknown domain kind %q", aj.Domain.Kind)
+			}
+			d.Attributes = append(d.Attributes, Attribute{ID: aj.ID, Name: aj.Name, Domain: dom})
+		}
+		s.Dimensions = append(s.Dimensions, d)
+	}
+	for _, dj := range js.Deps {
+		a, err := parseAttrKey(dj.A)
+		if err != nil {
+			return nil, err
+		}
+		b2, err := parseAttrKey(dj.B)
+		if err != nil {
+			return nil, err
+		}
+		dep := Dependency{A: a, B: b2, Bound: dj.Bound}
+		switch dj.Kind {
+		case "requires":
+			dep.Kind = DepRequires
+			if dj.AVal == nil {
+				return nil, fmt.Errorf("qos: requires dependency missing aval")
+			}
+			dep.AVal = *dj.AVal
+			dep.BSet = dj.BSet
+		case "maxsum":
+			dep.Kind = DepMaxSum
+		case "maxproduct":
+			dep.Kind = DepMaxProduct
+		default:
+			return nil, fmt.Errorf("qos: unknown dependency kind %q", dj.Kind)
+		}
+		s.Deps = append(s.Deps, dep)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+type setJSON struct {
+	Value *Value   `json:"value,omitempty"`
+	From  *float64 `json:"from,omitempty"`
+	To    *float64 `json:"to,omitempty"`
+}
+
+type attrPrefJSON struct {
+	Attr string    `json:"attr"`
+	Sets []setJSON `json:"accept"`
+}
+
+type dimPrefJSON struct {
+	Dim   string         `json:"dim"`
+	Attrs []attrPrefJSON `json:"attrs"`
+}
+
+type requestJSON struct {
+	Service string        `json:"service"`
+	Dims    []dimPrefJSON `json:"dimensions"`
+}
+
+// EncodeRequest renders the request as indented JSON.
+func EncodeRequest(r *Request) ([]byte, error) {
+	js := requestJSON{Service: r.Service}
+	for _, dp := range r.Dims {
+		dj := dimPrefJSON{Dim: dp.Dim}
+		for _, ap := range dp.Attrs {
+			aj := attrPrefJSON{Attr: ap.Attr}
+			for _, set := range ap.Sets {
+				if set.Continuous {
+					f, t := set.From, set.To
+					aj.Sets = append(aj.Sets, setJSON{From: &f, To: &t})
+				} else {
+					v := set.Single
+					aj.Sets = append(aj.Sets, setJSON{Value: &v})
+				}
+			}
+			dj.Attrs = append(dj.Attrs, aj)
+		}
+		js.Dims = append(js.Dims, dj)
+	}
+	return json.MarshalIndent(js, "", "  ")
+}
+
+// DecodeRequest parses a JSON request; validation against a spec is the
+// caller's responsibility (it needs the spec).
+func DecodeRequest(b []byte) (*Request, error) {
+	var js requestJSON
+	if err := json.Unmarshal(b, &js); err != nil {
+		return nil, fmt.Errorf("qos: decoding request: %w", err)
+	}
+	r := &Request{Service: js.Service}
+	for _, dj := range js.Dims {
+		dp := DimPref{Dim: dj.Dim}
+		for _, aj := range dj.Attrs {
+			ap := AttrPref{Attr: aj.Attr}
+			for _, sj := range aj.Sets {
+				switch {
+				case sj.Value != nil:
+					ap.Sets = append(ap.Sets, One(*sj.Value))
+				case sj.From != nil && sj.To != nil:
+					ap.Sets = append(ap.Sets, Span(*sj.From, *sj.To))
+				default:
+					return nil, fmt.Errorf("qos: request %q: accept entry needs value or from/to", js.Service)
+				}
+			}
+			dp.Attrs = append(dp.Attrs, ap)
+		}
+		r.Dims = append(r.Dims, dp)
+	}
+	return r, nil
+}

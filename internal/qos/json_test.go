@@ -1,0 +1,151 @@
+package qos
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	s := paperSpec()
+	s.Deps = []Dependency{
+		{Kind: DepRequires, A: AttrKey{"video", "color_depth"}, AVal: Int(24),
+			B: AttrKey{"video", "frame_rate"}, BSet: []Value{Int(10), Int(15)}},
+		{Kind: DepMaxProduct, A: AttrKey{"video", "frame_rate"},
+			B: AttrKey{"video", "color_depth"}, Bound: 300},
+		{Kind: DepMaxSum, A: AttrKey{"audio", "sampling_rate"},
+			B: AttrKey{"audio", "sample_bits"}, Bound: 60},
+	}
+	b, err := EncodeSpec(s)
+	if err != nil {
+		t.Fatalf("EncodeSpec: %v", err)
+	}
+	got, err := DecodeSpec(b)
+	if err != nil {
+		t.Fatalf("DecodeSpec: %v", err)
+	}
+	if got.Name != s.Name || len(got.Dimensions) != len(s.Dimensions) || len(got.Deps) != len(s.Deps) {
+		t.Fatalf("round trip lost structure: %+v", got)
+	}
+	for di := range s.Dimensions {
+		want, have := s.Dimensions[di], got.Dimensions[di]
+		if want.ID != have.ID || len(want.Attributes) != len(have.Attributes) {
+			t.Fatalf("dimension %d mismatch", di)
+		}
+		for ai := range want.Attributes {
+			wa, ha := want.Attributes[ai], have.Attributes[ai]
+			if wa.ID != ha.ID || wa.Domain.Kind != ha.Domain.Kind || wa.Domain.Type != ha.Domain.Type {
+				t.Fatalf("attribute %s/%s mismatch: %+v vs %+v", want.ID, wa.ID, wa.Domain, ha.Domain)
+			}
+			if wa.Domain.Kind == Discrete {
+				for vi := range wa.Domain.Values {
+					if !wa.Domain.Values[vi].Equal(ha.Domain.Values[vi]) {
+						t.Fatalf("value %d of %s differs", vi, wa.ID)
+					}
+				}
+			} else if wa.Domain.Min != ha.Domain.Min || wa.Domain.Max != ha.Domain.Max {
+				t.Fatalf("bounds of %s differ", wa.ID)
+			}
+		}
+	}
+	for i := range s.Deps {
+		if s.Deps[i].Kind != got.Deps[i].Kind || s.Deps[i].A != got.Deps[i].A || s.Deps[i].B != got.Deps[i].B {
+			t.Fatalf("dep %d mismatch", i)
+		}
+	}
+}
+
+func TestRequestJSONRoundTrip(t *testing.T) {
+	r := paperRequest()
+	b, err := EncodeRequest(r)
+	if err != nil {
+		t.Fatalf("EncodeRequest: %v", err)
+	}
+	got, err := DecodeRequest(b)
+	if err != nil {
+		t.Fatalf("DecodeRequest: %v", err)
+	}
+	if err := got.Validate(paperSpec()); err != nil {
+		t.Fatalf("decoded request invalid: %v", err)
+	}
+	if !got.Preferred().Equal(r.Preferred()) {
+		t.Errorf("preferred level changed across round trip")
+	}
+	if len(got.Dims) != len(r.Dims) {
+		t.Fatalf("dims lost")
+	}
+	for i := range r.Dims {
+		if got.Dims[i].Dim != r.Dims[i].Dim || len(got.Dims[i].Attrs) != len(r.Dims[i].Attrs) {
+			t.Fatalf("dim %d mismatch", i)
+		}
+	}
+}
+
+func TestDecodeSpecRejectsGarbage(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"name":"x","dimensions":[{"id":"d","attributes":[{"id":"a","domain":{"kind":"fuzzy","type":"integer"}}]}]}`,
+		`{"name":"x","dimensions":[{"id":"d","attributes":[{"id":"a","domain":{"kind":"discrete","type":"imaginary","values":[1]}}]}]}`,
+		`{"name":"x","dimensions":[]}`,
+		`{"name":"x","dimensions":[{"id":"d","attributes":[{"id":"a","domain":{"kind":"continuous","type":"integer","min":1,"max":30}}]}],"deps":[{"kind":"requires","a":"d/a","b":"d/a"}]}`,
+		`{"name":"x","dimensions":[{"id":"d","attributes":[{"id":"a","domain":{"kind":"continuous","type":"integer","min":1,"max":30}}]}],"deps":[{"kind":"maxsum","a":"noslash","b":"d/a"}]}`,
+	}
+	for i, c := range cases {
+		if _, err := DecodeSpec([]byte(c)); err == nil {
+			t.Errorf("garbage spec %d accepted", i)
+		}
+	}
+}
+
+func TestDecodeRequestRejectsGarbage(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"service":"s","dimensions":[{"dim":"video","attrs":[{"attr":"frame_rate","accept":[{}]}]}]}`,
+	}
+	for i, c := range cases {
+		if _, err := DecodeRequest([]byte(c)); err == nil {
+			t.Errorf("garbage request %d accepted", i)
+		}
+	}
+}
+
+func TestValueJSONForms(t *testing.T) {
+	var v Value
+	if err := v.UnmarshalJSON([]byte(`12`)); err != nil || !v.Equal(Int(12)) {
+		t.Errorf("int decode: %v %v", v, nil)
+	}
+	if err := v.UnmarshalJSON([]byte(`1.5`)); err != nil || !v.Equal(Float(1.5)) {
+		t.Errorf("float decode: %v", v)
+	}
+	if err := v.UnmarshalJSON([]byte(`"hq"`)); err != nil || !v.Equal(Str("hq")) {
+		t.Errorf("string decode: %v", v)
+	}
+	if err := v.UnmarshalJSON([]byte(`[1]`)); err == nil {
+		t.Error("array accepted as value")
+	}
+	b, err := Float(2.5).MarshalJSON()
+	if err != nil || string(b) != "2.5" {
+		t.Errorf("float encode: %s", b)
+	}
+	b, err = Str("x").MarshalJSON()
+	if err != nil || string(b) != `"x"` {
+		t.Errorf("string encode: %s", b)
+	}
+}
+
+func TestFloatDomainCoercion(t *testing.T) {
+	// A float domain authored with integer literals must decode to
+	// float values that compare equal within the domain.
+	in := `{"name":"x","dimensions":[{"id":"d","attributes":[
+	  {"id":"a","domain":{"kind":"discrete","type":"float","values":[1, 2.5]}}]}]}`
+	s, err := DecodeSpec([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := s.Attr(AttrKey{Dim: "d", Attr: "a"}).Domain
+	if !dom.Contains(Float(1)) {
+		t.Error("integer literal in float domain not coerced")
+	}
+	if !strings.Contains(dom.Values[0].String(), "1") {
+		t.Error("coerced value lost content")
+	}
+}

@@ -1,0 +1,188 @@
+package qos
+
+import "fmt"
+
+// AttrKey names one attribute of one dimension; it is the key type for
+// concrete quality levels.
+type AttrKey struct {
+	Dim  string
+	Attr string
+}
+
+// String renders the key as "dim/attr".
+func (k AttrKey) String() string { return k.Dim + "/" + k.Attr }
+
+// Attribute is one quality attribute of a dimension, with its admissible
+// value domain (the AVr relationship of the paper).
+type Attribute struct {
+	ID     string
+	Name   string
+	Domain Domain
+}
+
+// Dimension is one QoS dimension with its attribute set (the DAr
+// relationship of the paper). Example dimensions: Video Quality, Audio
+// Quality.
+type Dimension struct {
+	ID         string
+	Name       string
+	Attributes []Attribute
+}
+
+// Attribute returns the attribute with the given ID, or nil.
+func (d *Dimension) Attribute(id string) *Attribute {
+	for i := range d.Attributes {
+		if d.Attributes[i].ID == id {
+			return &d.Attributes[i]
+		}
+	}
+	return nil
+}
+
+// DepKind selects the semantics of a Dependency.
+type DepKind uint8
+
+const (
+	// DepRequires: whenever attribute A holds value AVal, attribute B
+	// must hold one of BSet. Models discrete co-constraints such as
+	// "24-bit color requires frame rate <= 15" expressed over discrete
+	// sets.
+	DepRequires DepKind = iota
+	// DepMaxSum: the sum of the numeric values of A and B must not
+	// exceed Bound.
+	DepMaxSum
+	// DepMaxProduct: the product of the numeric values of A and B must
+	// not exceed Bound. Models bandwidth-style couplings, e.g.
+	// frame_rate x color_depth bounded by link capacity.
+	DepMaxProduct
+)
+
+// Dependency is one element of the paper's Deps relation: a constraint
+// over the values of two attributes, Dep_ij = f(Val_ki, Val_kj).
+type Dependency struct {
+	Kind  DepKind
+	A, B  AttrKey
+	AVal  Value   // DepRequires: trigger value of A
+	BSet  []Value // DepRequires: admissible values of B when triggered
+	Bound float64 // DepMaxSum / DepMaxProduct
+}
+
+// Satisfied evaluates the dependency against a concrete level. Levels
+// missing either attribute satisfy the dependency vacuously; admission of
+// incomplete levels is handled by request admissibility, not here.
+func (dep *Dependency) Satisfied(l Level) bool {
+	av, okA := l[dep.A]
+	bv, okB := l[dep.B]
+	if !okA || !okB {
+		return true
+	}
+	switch dep.Kind {
+	case DepRequires:
+		if !av.Equal(dep.AVal) {
+			return true
+		}
+		for _, b := range dep.BSet {
+			if b.Equal(bv) {
+				return true
+			}
+		}
+		return false
+	case DepMaxSum:
+		return av.Num()+bv.Num() <= dep.Bound
+	case DepMaxProduct:
+		return av.Num()*bv.Num() <= dep.Bound
+	}
+	return false
+}
+
+// Spec is the full QoS requirements representation of an application:
+// QoS = {Dim, Atr, Val, DAr, AVr, Deps}.
+type Spec struct {
+	Name       string
+	Dimensions []Dimension
+	Deps       []Dependency
+}
+
+// Dimension returns the dimension with the given ID, or nil.
+func (s *Spec) Dimension(id string) *Dimension {
+	for i := range s.Dimensions {
+		if s.Dimensions[i].ID == id {
+			return &s.Dimensions[i]
+		}
+	}
+	return nil
+}
+
+// Attr resolves an AttrKey to its Attribute, or nil when either the
+// dimension or the attribute does not exist.
+func (s *Spec) Attr(k AttrKey) *Attribute {
+	d := s.Dimension(k.Dim)
+	if d == nil {
+		return nil
+	}
+	return d.Attribute(k.Attr)
+}
+
+// Validate checks structural consistency: unique IDs, valid domains, and
+// dependencies referring to existing attributes.
+func (s *Spec) Validate() error {
+	if len(s.Dimensions) == 0 {
+		return fmt.Errorf("qos: spec %q has no dimensions", s.Name)
+	}
+	seenDim := make(map[string]bool, len(s.Dimensions))
+	for di := range s.Dimensions {
+		d := &s.Dimensions[di]
+		if d.ID == "" {
+			return fmt.Errorf("qos: spec %q: dimension %d has empty ID", s.Name, di)
+		}
+		if seenDim[d.ID] {
+			return fmt.Errorf("qos: spec %q: duplicate dimension %q", s.Name, d.ID)
+		}
+		seenDim[d.ID] = true
+		if len(d.Attributes) == 0 {
+			return fmt.Errorf("qos: spec %q: dimension %q has no attributes", s.Name, d.ID)
+		}
+		seenAttr := make(map[string]bool, len(d.Attributes))
+		for ai := range d.Attributes {
+			a := &d.Attributes[ai]
+			if a.ID == "" {
+				return fmt.Errorf("qos: spec %q: dimension %q attribute %d has empty ID", s.Name, d.ID, ai)
+			}
+			if seenAttr[a.ID] {
+				return fmt.Errorf("qos: spec %q: dimension %q: duplicate attribute %q", s.Name, d.ID, a.ID)
+			}
+			seenAttr[a.ID] = true
+			if err := a.Domain.Validate(); err != nil {
+				return fmt.Errorf("qos: spec %q: %s/%s: %w", s.Name, d.ID, a.ID, err)
+			}
+		}
+	}
+	for i := range s.Deps {
+		dep := &s.Deps[i]
+		for _, k := range []AttrKey{dep.A, dep.B} {
+			if s.Attr(k) == nil {
+				return fmt.Errorf("qos: spec %q: dependency %d refers to unknown attribute %v", s.Name, i, k)
+			}
+		}
+		if dep.Kind != DepRequires && (!s.numericAttr(dep.A) || !s.numericAttr(dep.B)) {
+			return fmt.Errorf("qos: spec %q: dependency %d: numeric dependency over non-numeric attribute", s.Name, i)
+		}
+	}
+	return nil
+}
+
+func (s *Spec) numericAttr(k AttrKey) bool {
+	a := s.Attr(k)
+	return a != nil && a.Domain.Type != TypeString
+}
+
+// DepsSatisfied reports whether the level satisfies every dependency of
+// the spec, returning the index of the first violated dependency (or -1).
+func (s *Spec) DepsSatisfied(l Level) (bool, int) {
+	for i := range s.Deps {
+		if !s.Deps[i].Satisfied(l) {
+			return false, i
+		}
+	}
+	return true, -1
+}

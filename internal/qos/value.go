@@ -1,0 +1,106 @@
+// Package qos implements the QoS requirements representation of
+// Nogueira & Pinho, "Dynamic QoS-Aware Coalition Formation" (IPPS 2005),
+// Section 3: dimensions, attributes, typed value domains, inter-attribute
+// dependencies, preference-ordered service requests (Section 3.1), the
+// multi-attribute proposal-evaluation distance (Section 6, eqs. 2-5) and
+// the local reward function (Section 5, eq. 1).
+package qos
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// ValueType identifies the primitive type of an attribute value.
+// The paper defines Type = {integer, float, string}.
+type ValueType uint8
+
+const (
+	// TypeInt is a 64-bit signed integer value.
+	TypeInt ValueType = iota
+	// TypeFloat is a 64-bit floating point value.
+	TypeFloat
+	// TypeString is an opaque string value; string attributes must use
+	// discrete domains, where ordering comes from the quality index.
+	TypeString
+)
+
+// String returns the paper's name for the value type.
+func (t ValueType) String() string {
+	switch t {
+	case TypeInt:
+		return "integer"
+	case TypeFloat:
+		return "float"
+	case TypeString:
+		return "string"
+	default:
+		return fmt.Sprintf("ValueType(%d)", uint8(t))
+	}
+}
+
+// Value is a single attribute value. It is a small tagged union so that
+// levels and domains can be stored compactly and compared without
+// allocation.
+type Value struct {
+	Type ValueType
+	I    int64
+	F    float64
+	S    string
+}
+
+// Int returns an integer Value.
+func Int(v int64) Value { return Value{Type: TypeInt, I: v} }
+
+// Float returns a floating point Value.
+func Float(v float64) Value { return Value{Type: TypeFloat, F: v} }
+
+// Str returns a string Value.
+func Str(v string) Value { return Value{Type: TypeString, S: v} }
+
+// IsNumeric reports whether the value carries a number.
+func (v Value) IsNumeric() bool { return v.Type == TypeInt || v.Type == TypeFloat }
+
+// Num returns the numeric content of the value. String values return NaN;
+// callers that may hold string values must check IsNumeric first.
+func (v Value) Num() float64 {
+	switch v.Type {
+	case TypeInt:
+		return float64(v.I)
+	case TypeFloat:
+		return v.F
+	default:
+		return math.NaN()
+	}
+}
+
+// Equal reports whether two values are identical in type and content.
+// Int and Float values are never equal to each other even when numerically
+// equal: a domain is homogeneous in type, so cross-type comparison is a
+// specification error that should surface, not be masked.
+func (v Value) Equal(o Value) bool {
+	if v.Type != o.Type {
+		return false
+	}
+	switch v.Type {
+	case TypeInt:
+		return v.I == o.I
+	case TypeFloat:
+		return v.F == o.F
+	default:
+		return v.S == o.S
+	}
+}
+
+// String renders the value for diagnostics and tables.
+func (v Value) String() string {
+	switch v.Type {
+	case TypeInt:
+		return strconv.FormatInt(v.I, 10)
+	case TypeFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	default:
+		return v.S
+	}
+}

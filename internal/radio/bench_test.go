@@ -1,0 +1,51 @@
+package radio
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// benchMedium builds an n-node fully connected medium.
+func benchMedium(b *testing.B, n int) (*sim.Engine, *Medium) {
+	b.Helper()
+	eng := sim.New(1)
+	m := NewMedium(eng, Config{ProcDelay: 0.001})
+	for i := 0; i < n; i++ {
+		if err := m.Attach(NodeID(i), Static{X: float64(i % 8), Y: float64(i / 8)}, 100, 1e7, func(NodeID, any) {}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return eng, m
+}
+
+func BenchmarkBroadcast32(b *testing.B) {
+	eng, m := benchMedium(b, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SendBroadcast(0, "cfp", 512)
+		eng.Run(0)
+	}
+}
+
+func BenchmarkUnicastChain(b *testing.B) {
+	eng, m := benchMedium(b, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Send(0, 1, i, 256)
+		eng.Run(0)
+	}
+}
+
+func BenchmarkNeighbors64(b *testing.B) {
+	_, m := benchMedium(b, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(m.Neighbors(0)) == 0 {
+			b.Fatal("no neighbours")
+		}
+	}
+}

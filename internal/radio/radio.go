@@ -1,0 +1,312 @@
+// Package radio simulates the spontaneous local ad-hoc network of the
+// paper: nodes on a 2-D plane, unit-disk connectivity (two nodes hear
+// each other when within radio range), optional mobility, and a message
+// medium with transmission + propagation latency and loss injection.
+// Coalition negotiation happens between single-hop neighbours, matching
+// the paper's "nodes move in range of each other" scenario.
+package radio
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// NodeID identifies a node on the medium.
+type NodeID int
+
+// Broadcast is the destination used for broadcast sends.
+const Broadcast NodeID = -1
+
+// Pos is a point on the simulation plane, in meters.
+type Pos struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between two points.
+func (p Pos) Dist(o Pos) float64 {
+	dx, dy := p.X-o.X, p.Y-o.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Mobility produces a node's position as a function of simulated time.
+type Mobility interface {
+	Pos(t sim.Time) Pos
+}
+
+// Static is a non-moving node.
+type Static Pos
+
+// Pos implements Mobility.
+func (s Static) Pos(sim.Time) Pos { return Pos(s) }
+
+// Waypoint is a simple random-waypoint-style mobility trace: the node
+// moves between successive waypoints at constant speed, pausing at each.
+// The trace is precomputed so that position lookup is deterministic and
+// cheap.
+type Waypoint struct {
+	Points []Pos      // successive waypoints, at least one
+	Speed  float64    // meters per second, > 0
+	Pause  float64    // seconds paused at each waypoint
+	starts []sim.Time // computed arrival times
+}
+
+// NewWaypoint builds a waypoint trace and precomputes segment timing.
+func NewWaypoint(speed, pause float64, points ...Pos) (*Waypoint, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("radio: waypoint trace needs at least one point")
+	}
+	if speed <= 0 {
+		return nil, fmt.Errorf("radio: waypoint speed must be positive")
+	}
+	w := &Waypoint{Points: points, Speed: speed, Pause: pause}
+	w.starts = make([]sim.Time, len(points))
+	t := sim.Time(0)
+	for i := 1; i < len(points); i++ {
+		t += pause + points[i-1].Dist(points[i])/speed
+		w.starts[i] = t
+	}
+	return w, nil
+}
+
+// Pos implements Mobility: position at time t along the trace; the node
+// stays at the final waypoint after the trace completes.
+func (w *Waypoint) Pos(t sim.Time) Pos {
+	if t <= 0 || len(w.Points) == 1 {
+		return w.Points[0]
+	}
+	for i := 1; i < len(w.Points); i++ {
+		arrive := w.starts[i]
+		depart := w.starts[i-1] + w.Pause
+		if t >= arrive {
+			continue
+		}
+		if t <= depart {
+			return w.Points[i-1]
+		}
+		frac := (t - depart) / (arrive - depart)
+		a, b := w.Points[i-1], w.Points[i]
+		return Pos{X: a.X + (b.X-a.X)*frac, Y: a.Y + (b.Y-a.Y)*frac}
+	}
+	return w.Points[len(w.Points)-1]
+}
+
+// Handler receives a delivered message.
+type Handler func(from NodeID, msg any)
+
+// nodeState is the medium's view of one attached node.
+type nodeState struct {
+	id       NodeID
+	mobility Mobility
+	rangeM   float64 // radio range in meters
+	bitrate  float64 // link bitrate in bits per second
+	handler  Handler
+	down     bool
+}
+
+// Config tunes the medium.
+type Config struct {
+	// PropDelay is the per-meter propagation delay in seconds (default
+	// effectively zero; kept configurable for long-range scenarios).
+	PropDelay float64
+	// ProcDelay is fixed per-message processing latency in seconds
+	// (MAC + protocol stack), applied to every delivery.
+	ProcDelay float64
+	// LossProb is the independent probability that any single delivery
+	// is dropped.
+	LossProb float64
+}
+
+// Stats aggregates medium activity for the message-overhead experiments.
+type Stats struct {
+	Unicasts    uint64
+	Broadcasts  uint64
+	Deliveries  uint64
+	Drops       uint64 // lost to LossProb
+	Unreachable uint64 // destination out of range or down
+	Bytes       uint64
+}
+
+// Medium connects nodes through the simulated ether. All methods must be
+// called from the simulation goroutine (the engine's event loop).
+type Medium struct {
+	eng   *sim.Engine
+	cfg   Config
+	nodes map[NodeID]*nodeState
+
+	// Stats is exported for experiment harvesting.
+	Stats Stats
+}
+
+// NewMedium builds a medium on the engine.
+func NewMedium(eng *sim.Engine, cfg Config) *Medium {
+	return &Medium{eng: eng, cfg: cfg, nodes: make(map[NodeID]*nodeState)}
+}
+
+// Attach registers a node. bitrate is the node's link speed in bits/s,
+// rangeM its radio range in meters.
+func (m *Medium) Attach(id NodeID, mob Mobility, rangeM, bitrate float64, h Handler) error {
+	if _, dup := m.nodes[id]; dup {
+		return fmt.Errorf("radio: node %d already attached", id)
+	}
+	if mob == nil {
+		return fmt.Errorf("radio: node %d has nil mobility", id)
+	}
+	if rangeM <= 0 || bitrate <= 0 {
+		return fmt.Errorf("radio: node %d needs positive range and bitrate", id)
+	}
+	m.nodes[id] = &nodeState{id: id, mobility: mob, rangeM: rangeM, bitrate: bitrate, handler: h}
+	return nil
+}
+
+// SetHandler replaces a node's delivery handler.
+func (m *Medium) SetHandler(id NodeID, h Handler) {
+	if n, ok := m.nodes[id]; ok {
+		n.handler = h
+	}
+}
+
+// SetDown marks a node failed (true) or recovered (false); down nodes
+// neither send nor receive. Used by the failure-injection experiments.
+func (m *Medium) SetDown(id NodeID, down bool) {
+	if n, ok := m.nodes[id]; ok {
+		n.down = down
+	}
+}
+
+// Down reports whether the node is currently failed.
+func (m *Medium) Down(id NodeID) bool {
+	n, ok := m.nodes[id]
+	return ok && n.down
+}
+
+// PosOf returns a node's current position.
+func (m *Medium) PosOf(id NodeID) (Pos, bool) {
+	n, ok := m.nodes[id]
+	if !ok {
+		return Pos{}, false
+	}
+	return n.mobility.Pos(m.eng.Now()), true
+}
+
+// InRange reports whether a and b can currently hear each other: both up
+// and within the smaller of the two radio ranges (symmetric links).
+func (m *Medium) InRange(a, b NodeID) bool {
+	na, ok := m.nodes[a]
+	if !ok || na.down {
+		return false
+	}
+	nb, ok := m.nodes[b]
+	if !ok || nb.down {
+		return false
+	}
+	d := na.mobility.Pos(m.eng.Now()).Dist(nb.mobility.Pos(m.eng.Now()))
+	r := math.Min(na.rangeM, nb.rangeM)
+	return d <= r
+}
+
+// Neighbors returns the IDs currently in range of id, in ascending order.
+func (m *Medium) Neighbors(id NodeID) []NodeID {
+	var out []NodeID
+	for other := range m.nodes {
+		if other != id && m.InRange(id, other) {
+			out = append(out, other)
+		}
+	}
+	sortNodeIDs(out)
+	return out
+}
+
+func sortNodeIDs(ids []NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// latency computes the one-way delivery latency for size bytes between
+// two attached nodes.
+func (m *Medium) latency(from, to *nodeState, size int) float64 {
+	rate := math.Min(from.bitrate, to.bitrate)
+	tx := float64(size*8) / rate
+	d := from.mobility.Pos(m.eng.Now()).Dist(to.mobility.Pos(m.eng.Now()))
+	return tx + d*m.cfg.PropDelay + m.cfg.ProcDelay
+}
+
+// TxTime estimates the transfer time of size bytes from a to b at the
+// current instant; used as the communication-cost term during proposal
+// selection. Returns +Inf when the pair is not connected.
+func (m *Medium) TxTime(a, b NodeID, size int64) float64 {
+	if a == b {
+		return 0
+	}
+	na, okA := m.nodes[a]
+	nb, okB := m.nodes[b]
+	if !okA || !okB || !m.InRange(a, b) {
+		return math.Inf(1)
+	}
+	return m.latency(na, nb, int(size))
+}
+
+// Send delivers msg of the given wire size from one node to another after
+// the modeled latency. Out-of-range or down destinations are counted and
+// dropped silently, like real radio.
+func (m *Medium) Send(from, to NodeID, msg any, size int) {
+	src, ok := m.nodes[from]
+	if !ok || src.down {
+		m.Stats.Unreachable++
+		return
+	}
+	m.Stats.Unicasts++
+	m.Stats.Bytes += uint64(size)
+	m.deliver(src, to, msg, size)
+}
+
+// SendBroadcast delivers msg to every node currently in range of from.
+func (m *Medium) SendBroadcast(from NodeID, msg any, size int) {
+	src, ok := m.nodes[from]
+	if !ok || src.down {
+		m.Stats.Unreachable++
+		return
+	}
+	m.Stats.Broadcasts++
+	m.Stats.Bytes += uint64(size)
+	for _, to := range m.Neighbors(from) {
+		m.deliver(src, to, msg, size)
+	}
+}
+
+func (m *Medium) deliver(src *nodeState, to NodeID, msg any, size int) {
+	dst, ok := m.nodes[to]
+	if !ok || dst.down || !m.InRange(src.id, to) {
+		m.Stats.Unreachable++
+		return
+	}
+	if m.cfg.LossProb > 0 && m.eng.Rand().Float64() < m.cfg.LossProb {
+		m.Stats.Drops++
+		return
+	}
+	lat := m.latency(src, dst, size)
+	from := src.id
+	m.eng.After(lat, func() {
+		n, ok := m.nodes[to]
+		if !ok || n.down || n.handler == nil {
+			m.Stats.Unreachable++
+			return
+		}
+		m.Stats.Deliveries++
+		n.handler(from, msg)
+	})
+}
+
+// NodeIDs returns all attached node IDs in ascending order.
+func (m *Medium) NodeIDs() []NodeID {
+	ids := make([]NodeID, 0, len(m.nodes))
+	for id := range m.nodes {
+		ids = append(ids, id)
+	}
+	sortNodeIDs(ids)
+	return ids
+}

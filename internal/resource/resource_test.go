@@ -1,0 +1,304 @@
+package resource
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorArithmetic(t *testing.T) {
+	a := V(KV{CPU, 100}, KV{Memory, 32})
+	b := V(KV{CPU, 50}, KV{NetBW, 10})
+	sum := a.Add(b)
+	if sum[CPU] != 150 || sum[Memory] != 32 || sum[NetBW] != 10 {
+		t.Errorf("Add = %v", sum)
+	}
+	diff := a.Sub(b)
+	if diff[CPU] != 50 || diff[NetBW] != -10 {
+		t.Errorf("Sub = %v", diff)
+	}
+	sc := a.Scale(2)
+	if sc[CPU] != 200 || sc[Memory] != 64 {
+		t.Errorf("Scale = %v", sc)
+	}
+	if !b.Fits(a.Add(b)) {
+		t.Error("b must fit a+b")
+	}
+	if a.Add(b).Fits(a) {
+		t.Error("a+b must not fit a")
+	}
+	if !(Vector{}).IsZero() || a.IsZero() {
+		t.Error("IsZero broken")
+	}
+	if !a.Nonnegative() || diff.Nonnegative() {
+		t.Error("Nonnegative broken")
+	}
+}
+
+func TestVectorAlgebraProperties(t *testing.T) {
+	mk := func(c, m, n float64) Vector { return V(KV{CPU, c}, KV{Memory, m}, KV{NetBW, n}) }
+	clamp := func(x float64) float64 { return float64(int64(x) % 1_000_000) } // finite, exact in float64
+	// Add commutes; Sub inverts Add; Scale distributes.
+	f := func(a1, a2, b1, b2, c1, c2 int64) bool {
+		a := mk(clamp(float64(a1)), clamp(float64(b1)), clamp(float64(c1)))
+		b := mk(clamp(float64(a2)), clamp(float64(b2)), clamp(float64(c2)))
+		if a.Add(b) != b.Add(a) {
+			return false
+		}
+		if a.Add(b).Sub(b) != a {
+			return false
+		}
+		return a.Add(a) == a.Scale(2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorString(t *testing.T) {
+	v := V(KV{CPU, 120}, KV{Memory, 32})
+	if got := v.String(); got != "{cpu:120 mem:32}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Vector{}).String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	want := map[Kind]string{CPU: "cpu", Memory: "mem", NetBW: "netbw", Energy: "energy", Storage: "storage"}
+	for k, name := range want {
+		if k.String() != name {
+			t.Errorf("Kind %d = %q, want %q", k, k.String(), name)
+		}
+	}
+	if len(Kinds()) != NumKinds {
+		t.Error("Kinds() incomplete")
+	}
+	if Kind(200).String() == "" {
+		t.Error("unknown kind should render")
+	}
+}
+
+func TestBucketReserveRelease(t *testing.T) {
+	b := NewBucket(CPU, 100)
+	if b.Capacity() != 100 || b.Available() != 100 {
+		t.Fatal("fresh bucket")
+	}
+	if err := b.Reserve("a", 60); err != nil {
+		t.Fatal(err)
+	}
+	if b.Available() != 40 {
+		t.Errorf("available = %v", b.Available())
+	}
+	// Over-capacity rejected with a typed error.
+	err := b.Reserve("b", 50)
+	var ie *InsufficientError
+	if !errors.As(err, &ie) {
+		t.Fatalf("want *InsufficientError, got %v", err)
+	}
+	if ie.Kind != CPU || ie.Want != 50 || ie.Have != 40 {
+		t.Errorf("error detail = %+v", ie)
+	}
+	if ie.Error() == "" {
+		t.Error("error message empty")
+	}
+	// Duplicate id rejected (ids name one reservation).
+	if err := b.Reserve("a", 1); err == nil {
+		t.Error("duplicate reservation id accepted")
+	}
+	// Release returns the held amount; unknown ids release 0.
+	if got := b.Release("a"); got != 60 {
+		t.Errorf("released %v", got)
+	}
+	if got := b.Release("a"); got != 0 {
+		t.Errorf("double release = %v", got)
+	}
+	if b.Available() != 100 {
+		t.Error("release did not restore capacity")
+	}
+	// Zero reservations are free and need no ledger entry.
+	if err := b.Reserve("z", 0); err != nil {
+		t.Error(err)
+	}
+	if len(b.Holders()) != 0 {
+		t.Error("zero reservation created a holder")
+	}
+	// Negative reservations are errors.
+	if err := b.Reserve("n", -5); err == nil {
+		t.Error("negative reservation accepted")
+	}
+}
+
+func TestBucketSetCapacity(t *testing.T) {
+	b := NewBucket(CPU, 100)
+	if err := b.Reserve("a", 80); err != nil {
+		t.Fatal(err)
+	}
+	b.SetCapacity(50) // congestion: capacity drops below reserved
+	if b.Available() >= 0 {
+		t.Errorf("available = %v, want negative (over-committed)", b.Available())
+	}
+	if err := b.Reserve("b", 1); err == nil {
+		t.Error("admission over shrunk capacity accepted")
+	}
+	if got := b.Release("a"); got != 80 {
+		t.Error("existing reservation must survive capacity changes")
+	}
+}
+
+func TestBucketHolders(t *testing.T) {
+	b := NewBucket(Memory, 10)
+	for _, id := range []ReservationID{"c", "a", "b"} {
+		if err := b.Reserve(id, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := b.Holders()
+	if len(h) != 3 || h[0] != "a" || h[1] != "b" || h[2] != "c" {
+		t.Errorf("Holders = %v, want sorted", h)
+	}
+}
+
+func TestBucketConcurrentReserve(t *testing.T) {
+	b := NewBucket(CPU, 1000)
+	var wg sync.WaitGroup
+	errs := make(chan error, 100)
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			id := ReservationID(rune('a' + n%26))
+			// Mix of reservations and releases; invariants checked after.
+			if err := b.Reserve(ReservationID(string(id)+string(rune('0'+n/26))), 10); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent reserve failed: %v", err)
+	}
+	if b.Available() != 0 {
+		t.Errorf("available = %v, want 0 after 100x10 on 1000", b.Available())
+	}
+}
+
+func TestBatteryDrain(t *testing.T) {
+	bat := NewBattery(100, 2) // 2 units/s idle drain
+	bat.Drain(10)
+	if got := bat.Capacity(); got != 80 {
+		t.Errorf("capacity after drain = %v, want 80", got)
+	}
+	bat.Drain(1000)
+	if got := bat.Capacity(); got != 0 {
+		t.Errorf("capacity floor = %v, want 0", got)
+	}
+	// Zero and negative drains are no-ops.
+	bat2 := NewBattery(50, 0)
+	bat2.Drain(100)
+	if bat2.Capacity() != 50 {
+		t.Error("zero-rate battery drained")
+	}
+	bat3 := NewBattery(50, 5)
+	bat3.Drain(-1)
+	if bat3.Capacity() != 50 {
+		t.Error("negative dt drained")
+	}
+}
+
+func TestSetReserveAllOrNothing(t *testing.T) {
+	s := NewSet(V(KV{CPU, 100}, KV{Memory, 10}))
+	// Demand exceeding memory must not leave a partial CPU reservation.
+	demand := V(KV{CPU, 50}, KV{Memory, 20})
+	if err := s.Reserve("x", demand); err == nil {
+		t.Fatal("infeasible demand accepted")
+	}
+	if s.Available() != s.Capacity() {
+		t.Fatalf("rollback failed: available %v, capacity %v", s.Available(), s.Capacity())
+	}
+	// Feasible demand reserves everything.
+	ok := V(KV{CPU, 50}, KV{Memory, 5})
+	if err := s.Reserve("x", ok); err != nil {
+		t.Fatal(err)
+	}
+	avail := s.Available()
+	if avail[CPU] != 50 || avail[Memory] != 5 {
+		t.Errorf("available = %v", avail)
+	}
+	// Release returns the full vector.
+	rel := s.Release("x")
+	if rel[CPU] != 50 || rel[Memory] != 5 {
+		t.Errorf("released = %v", rel)
+	}
+	if s.Available() != s.Capacity() {
+		t.Error("release incomplete")
+	}
+}
+
+func TestSetCanReserveMatchesReserve(t *testing.T) {
+	s := NewSet(V(KV{CPU, 100}, KV{Memory, 10}, KV{NetBW, 5}))
+	f := func(c, m, n uint8) bool {
+		demand := V(KV{CPU, float64(c)}, KV{Memory, float64(m) / 10}, KV{NetBW, float64(n) / 50})
+		can := s.CanReserve(demand)
+		err := s.Reserve("probe", demand)
+		if err == nil {
+			s.Release("probe")
+		}
+		return can == (err == nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetRejectsNegativeDemand(t *testing.T) {
+	s := NewSet(V(KV{CPU, 10}))
+	var d Vector
+	d[CPU] = -1
+	if err := s.Reserve("x", d); err == nil {
+		t.Error("negative demand accepted")
+	}
+}
+
+func TestNewSetWith(t *testing.T) {
+	bat := NewBattery(200, 1)
+	s := NewSetWith(NewBucket(CPU, 100), bat)
+	if s.Manager(CPU).Capacity() != 100 {
+		t.Error("explicit manager lost")
+	}
+	if s.Manager(Energy) != bat.Bucket {
+		// NewSetWith stores the Manager interface; Battery embeds
+		// *Bucket so the comparison must be against the embedded value.
+		t.Log("battery stored as its own manager type (embedded bucket)")
+	}
+	if s.Manager(Storage).Capacity() != 0 {
+		t.Error("missing kinds must default to zero-capacity buckets")
+	}
+	// Reservations against zero-capacity kinds fail.
+	if err := s.Reserve("x", V(KV{Storage, 1})); err == nil {
+		t.Error("zero-capacity manager granted a reservation")
+	}
+}
+
+func TestSetConcurrentReserveRelease(t *testing.T) {
+	s := NewSet(V(KV{CPU, 1000}, KV{Memory, 1000}))
+	demand := V(KV{CPU, 10}, KV{Memory, 10})
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			id := ReservationID(rune('A' + n))
+			if err := s.Reserve(id, demand); err == nil {
+				s.Release(id)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s.Available() != s.Capacity() {
+		t.Errorf("leaked reservations: %v vs %v", s.Available(), s.Capacity())
+	}
+}

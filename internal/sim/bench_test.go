@@ -1,0 +1,42 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventThroughput measures raw scheduler throughput: schedule
+// and drain batches of randomly timed events.
+func BenchmarkEventThroughput(b *testing.B) {
+	const batch = 1024
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := New(int64(i))
+		for j := 0; j < batch; j++ {
+			e.At(e.Rand().Float64()*100, func() {})
+		}
+		e.Run(0)
+		if e.Processed != batch {
+			b.Fatal("lost events")
+		}
+	}
+}
+
+// BenchmarkCascade measures self-rescheduling chains (the heartbeat and
+// battery-drain pattern).
+func BenchmarkCascade(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := New(1)
+		n := 0
+		var loop func()
+		loop = func() {
+			n++
+			if n < 1000 {
+				e.After(0.5, loop)
+			}
+		}
+		e.After(0.5, loop)
+		e.Run(0)
+		if n != 1000 {
+			b.Fatal("chain broke")
+		}
+	}
+}

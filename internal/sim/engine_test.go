@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEngineOrdersEventsByTime(t *testing.T) {
+	e := New(1)
+	var got []int
+	e.At(3, func() { got = append(got, 3) })
+	e.At(1, func() { got = append(got, 1) })
+	e.At(2, func() { got = append(got, 2) })
+	e.Run(0)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("order = %v", got)
+	}
+	if e.Now() != 3 {
+		t.Errorf("final time = %v", e.Now())
+	}
+	if e.Processed != 3 {
+		t.Errorf("processed = %d", e.Processed)
+	}
+}
+
+func TestEngineFIFOForSimultaneousEvents(t *testing.T) {
+	e := New(1)
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run(0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("simultaneous events reordered: got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestEngineAfterAndNesting(t *testing.T) {
+	e := New(1)
+	var times []Time
+	e.After(1, func() {
+		times = append(times, e.Now())
+		e.After(2, func() {
+			times = append(times, e.Now())
+		})
+	})
+	e.Run(0)
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Errorf("times = %v", times)
+	}
+	// Negative delay clamps to now.
+	e2 := New(1)
+	fired := false
+	e2.After(5, func() {
+		e2.After(-1, func() { fired = e2.Now() == 5 })
+	})
+	e2.Run(0)
+	if !fired {
+		t.Error("negative After did not fire at current time")
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := New(1)
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run(0)
+}
+
+func TestEngineHorizon(t *testing.T) {
+	e := New(1)
+	fired := 0
+	e.At(1, func() { fired++ })
+	e.At(100, func() { fired++ })
+	final := e.Run(10)
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1 (second event beyond horizon)", fired)
+	}
+	if final != 10 {
+		t.Errorf("final time = %v, want horizon", final)
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d", e.Pending())
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := New(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run(0)
+	if count != 3 {
+		t.Errorf("count = %d, want 3 (stopped)", count)
+	}
+	if e.Step() {
+		t.Error("Step after Stop should be false")
+	}
+}
+
+func TestEngineDeterministicRand(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Rand().Float64() != b.Rand().Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := New(43)
+	same := true
+	for i := 0; i < 10; i++ {
+		if a.Rand().Float64() != c.Rand().Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestEngineStepOnEmptyQueue(t *testing.T) {
+	e := New(1)
+	if e.Step() {
+		t.Error("Step on empty queue should be false")
+	}
+	if e.Run(0) != 0 {
+		t.Error("Run on empty queue should stay at 0")
+	}
+}
+
+// TestEngineManyEvents exercises the heap at scale and checks global
+// time monotonicity.
+func TestEngineManyEvents(t *testing.T) {
+	e := New(7)
+	last := Time(-1)
+	n := 0
+	for i := 0; i < 5000; i++ {
+		at := e.Rand().Float64() * 1000
+		e.At(at, func() {
+			if e.Now() < last {
+				t.Fatalf("time went backwards: %v after %v", e.Now(), last)
+			}
+			last = e.Now()
+			n++
+		})
+	}
+	e.Run(0)
+	if n != 5000 {
+		t.Errorf("executed %d events", n)
+	}
+}

@@ -1,0 +1,156 @@
+// Package task models the paper's services and tasks (Section 4.1): a
+// service is a set of (for now) independent tasks, each carrying the
+// user's QoS preferences and a demand model mapping concrete QoS levels to
+// resource requirements. The paper assumes "applications make a reasonable
+// accurate analysis of their resource requirements, made a priori through
+// resource monitoring tools"; DemandModel is that a-priori analysis.
+package task
+
+import (
+	"fmt"
+
+	"repro/internal/qos"
+	"repro/internal/resource"
+)
+
+// Task is one independent unit of a service, negotiated and allocated
+// individually during coalition formation.
+type Task struct {
+	ID string
+	// Request carries the user's preference-ordered QoS constraints for
+	// this task.
+	Request qos.Request
+	// Demand maps QoS levels to resource requirements.
+	Demand DemandModel
+	// InBytes and OutBytes size the data that must be shipped to and
+	// from the executing node; they drive the communication-cost term of
+	// proposal selection.
+	InBytes, OutBytes int64
+}
+
+// Service is a user-requested service: a set of independent tasks plus
+// the shared QoS spec they are expressed against.
+type Service struct {
+	ID    string
+	Spec  *qos.Spec
+	Tasks []*Task
+}
+
+// Validate checks the service: a nonempty ID, a valid spec, and every
+// task request valid against the spec with a demand model attached.
+func (s *Service) Validate() error {
+	if s.ID == "" {
+		return fmt.Errorf("task: service has empty ID")
+	}
+	if s.Spec == nil {
+		return fmt.Errorf("task: service %q has no spec", s.ID)
+	}
+	if err := s.Spec.Validate(); err != nil {
+		return err
+	}
+	if len(s.Tasks) == 0 {
+		return fmt.Errorf("task: service %q has no tasks", s.ID)
+	}
+	seen := make(map[string]bool, len(s.Tasks))
+	for _, t := range s.Tasks {
+		if t.ID == "" {
+			return fmt.Errorf("task: service %q contains a task with empty ID", s.ID)
+		}
+		if seen[t.ID] {
+			return fmt.Errorf("task: service %q duplicates task %q", s.ID, t.ID)
+		}
+		seen[t.ID] = true
+		if t.Demand == nil {
+			return fmt.Errorf("task: %s/%s has no demand model", s.ID, t.ID)
+		}
+		if err := t.Request.Validate(s.Spec); err != nil {
+			return fmt.Errorf("task: %s/%s: %w", s.ID, t.ID, err)
+		}
+		if t.InBytes < 0 || t.OutBytes < 0 {
+			return fmt.Errorf("task: %s/%s has negative data size", s.ID, t.ID)
+		}
+	}
+	return nil
+}
+
+// Task returns the task with the given ID, or nil.
+func (s *Service) Task(id string) *Task {
+	for _, t := range s.Tasks {
+		if t.ID == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// DataBytes returns the total data movement of the task (input + output).
+func (t *Task) DataBytes() int64 { return t.InBytes + t.OutBytes }
+
+// DemandModel maps a concrete QoS level to the resource vector a node
+// must reserve to serve it.
+type DemandModel interface {
+	// Demand returns the resource requirement of serving level under the
+	// given spec. Implementations must be deterministic and treat level
+	// as read-only.
+	Demand(spec *qos.Spec, level qos.Level) (resource.Vector, error)
+}
+
+// LinearDemand is base + sum over attributes of coefficient * magnitude,
+// where magnitude is the attribute's numeric value for numeric attributes
+// and the quality-index position for string attributes. It captures the
+// codec-style trade-offs the paper motivates (higher frame rate / color
+// depth -> proportionally more CPU and bandwidth).
+type LinearDemand struct {
+	Base resource.Vector
+	Coef map[qos.AttrKey]resource.Vector
+}
+
+// Demand implements DemandModel.
+func (d *LinearDemand) Demand(spec *qos.Spec, level qos.Level) (resource.Vector, error) {
+	out := d.Base
+	for key, coef := range d.Coef {
+		v, ok := level[key]
+		if !ok {
+			continue
+		}
+		mag, err := magnitude(spec, key, v)
+		if err != nil {
+			return resource.Vector{}, err
+		}
+		out = out.Add(coef.Scale(mag))
+	}
+	if !out.Nonnegative() {
+		return resource.Vector{}, fmt.Errorf("task: linear demand produced negative vector %v", out)
+	}
+	return out, nil
+}
+
+func magnitude(spec *qos.Spec, key qos.AttrKey, v qos.Value) (float64, error) {
+	if v.IsNumeric() {
+		return v.Num(), nil
+	}
+	attr := spec.Attr(key)
+	if attr == nil {
+		return 0, fmt.Errorf("task: demand refers to unknown attribute %v", key)
+	}
+	idx := attr.Domain.IndexOf(v)
+	if idx < 0 {
+		return 0, fmt.Errorf("task: value %v outside domain of %v", v, key)
+	}
+	return float64(idx), nil
+}
+
+// FuncDemand adapts a plain function to DemandModel, for tests and ad-hoc
+// workloads.
+type FuncDemand func(spec *qos.Spec, level qos.Level) (resource.Vector, error)
+
+// Demand implements DemandModel.
+func (f FuncDemand) Demand(spec *qos.Spec, level qos.Level) (resource.Vector, error) {
+	return f(spec, level)
+}
+
+// ConstDemand returns the same vector for every level; useful for
+// baselines and tests where quality does not change cost.
+func ConstDemand(v resource.Vector) DemandModel {
+	return FuncDemand(func(*qos.Spec, qos.Level) (resource.Vector, error) { return v, nil })
+}

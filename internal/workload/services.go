@@ -1,0 +1,268 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/qos"
+	"repro/internal/resource"
+	"repro/internal/task"
+)
+
+// VideoSpec is the paper's Section 3 example spec, verbatim:
+//
+//	Dim  = {Video Quality, Audio Quality}
+//	Attr = {color depth, frame rate, sampling rate, sample bits}
+//	AV(color depth)   = {1, 3, 8, 16, 24}
+//	AV(frame rate)    = [1..30]
+//	AV(sampling rate) = {8, 16, 24, 44}
+//	AV(sample bits)   = {8, 16, 24}
+func VideoSpec() *qos.Spec {
+	return &qos.Spec{
+		Name: "multimedia",
+		Dimensions: []qos.Dimension{
+			{
+				ID: "video", Name: "Video Quality",
+				Attributes: []qos.Attribute{
+					{ID: "frame_rate", Name: "frame rate", Domain: qos.IntRange(1, 30)},
+					{ID: "color_depth", Name: "color depth", Domain: qos.DiscreteInts(1, 3, 8, 16, 24)},
+				},
+			},
+			{
+				ID: "audio", Name: "Audio Quality",
+				Attributes: []qos.Attribute{
+					{ID: "sampling_rate", Name: "sampling rate", Domain: qos.DiscreteInts(8, 16, 24, 44)},
+					{ID: "sample_bits", Name: "sample bits", Domain: qos.DiscreteInts(8, 16, 24)},
+				},
+			},
+		},
+	}
+}
+
+// SurveillanceRequest is the paper's Section 3.1 request, verbatim:
+// video much more important than audio, gray scale and low frame rate
+// acceptable:
+//
+//  1. Video Quality:  frame rate [10..5],[4..1]; color depth 3, 1
+//  2. Audio Quality:  sampling rate 8; sample bits 8
+func SurveillanceRequest() qos.Request {
+	return qos.Request{
+		Service: "surveillance",
+		Dims: []qos.DimPref{
+			{
+				Dim: "video",
+				Attrs: []qos.AttrPref{
+					{Attr: "frame_rate", Sets: []qos.ValueSet{qos.Span(10, 5), qos.Span(4, 1)}},
+					{Attr: "color_depth", Sets: []qos.ValueSet{qos.One(qos.Int(3)), qos.One(qos.Int(1))}},
+				},
+			},
+			{
+				Dim: "audio",
+				Attrs: []qos.AttrPref{
+					{Attr: "sampling_rate", Sets: []qos.ValueSet{qos.One(qos.Int(8))}},
+					{Attr: "sample_bits", Sets: []qos.ValueSet{qos.One(qos.Int(8))}},
+				},
+			},
+		},
+	}
+}
+
+// StreamingRequest is a demanding video-conference style request over
+// VideoSpec: high frame rate and color depth preferred, degradable.
+func StreamingRequest(service string) qos.Request {
+	return qos.Request{
+		Service: service,
+		Dims: []qos.DimPref{
+			{
+				Dim: "video",
+				Attrs: []qos.AttrPref{
+					{Attr: "frame_rate", Sets: []qos.ValueSet{qos.Span(30, 15), qos.Span(14, 5)}},
+					{Attr: "color_depth", Sets: []qos.ValueSet{
+						qos.One(qos.Int(24)), qos.One(qos.Int(16)), qos.One(qos.Int(8)),
+					}},
+				},
+			},
+			{
+				Dim: "audio",
+				Attrs: []qos.AttrPref{
+					{Attr: "sampling_rate", Sets: []qos.ValueSet{
+						qos.One(qos.Int(44)), qos.One(qos.Int(24)), qos.One(qos.Int(16)),
+					}},
+					{Attr: "sample_bits", Sets: []qos.ValueSet{
+						qos.One(qos.Int(16)), qos.One(qos.Int(8)),
+					}},
+				},
+			},
+		},
+	}
+}
+
+// VideoDemand is the codec-style demand model over VideoSpec: CPU and
+// bandwidth scale with frame rate and color depth, audio cost scales with
+// sampling rate and sample size. scale stretches the whole model, letting
+// experiments trade load against capacity.
+func VideoDemand(scale float64) task.DemandModel {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &task.LinearDemand{
+		Base: resource.V(
+			resource.KV{K: resource.CPU, A: 20 * scale},
+			resource.KV{K: resource.Memory, A: 8 * scale},
+			resource.KV{K: resource.NetBW, A: 50 * scale},
+			resource.KV{K: resource.Energy, A: 10 * scale},
+		),
+		Coef: map[qos.AttrKey]resource.Vector{
+			{Dim: "video", Attr: "frame_rate"}: resource.V(
+				resource.KV{K: resource.CPU, A: 6 * scale},
+				resource.KV{K: resource.NetBW, A: 30 * scale},
+				resource.KV{K: resource.Energy, A: 2 * scale},
+			),
+			{Dim: "video", Attr: "color_depth"}: resource.V(
+				resource.KV{K: resource.CPU, A: 4 * scale},
+				resource.KV{K: resource.Memory, A: 2 * scale},
+				resource.KV{K: resource.NetBW, A: 15 * scale},
+			),
+			{Dim: "audio", Attr: "sampling_rate"}: resource.V(
+				resource.KV{K: resource.CPU, A: 1.5 * scale},
+				resource.KV{K: resource.NetBW, A: 4 * scale},
+			),
+			{Dim: "audio", Attr: "sample_bits"}: resource.V(
+				resource.KV{K: resource.CPU, A: 0.5 * scale},
+				resource.KV{K: resource.NetBW, A: 2 * scale},
+			),
+		},
+	}
+}
+
+// OffloadSpec describes a compression/decompression pipeline (the
+// paper's Section 7 motivation: "playing downloaded movies may require
+// decompression ... transmitting data to the Internet from the mobile
+// devices may require compression").
+func OffloadSpec() *qos.Spec {
+	return &qos.Spec{
+		Name: "offload",
+		Dimensions: []qos.Dimension{
+			{
+				ID: "throughput", Name: "Processing Throughput",
+				Attributes: []qos.Attribute{
+					{ID: "blocks_per_s", Name: "blocks per second", Domain: qos.IntRange(1, 60)},
+					{ID: "codec", Name: "codec profile", Domain: qos.DiscreteStrings("hq", "main", "fast")},
+				},
+			},
+			{
+				ID: "fidelity", Name: "Output Fidelity",
+				Attributes: []qos.Attribute{
+					{ID: "quantizer", Name: "quantizer", Domain: qos.DiscreteInts(2, 4, 8, 16)},
+				},
+			},
+		},
+	}
+}
+
+// OffloadRequest prefers fast, high-fidelity processing, degradable all
+// the way to 8 blocks/s on the "fast" profile.
+func OffloadRequest(service string) qos.Request {
+	return qos.Request{
+		Service: service,
+		Dims: []qos.DimPref{
+			{
+				Dim: "throughput",
+				Attrs: []qos.AttrPref{
+					{Attr: "blocks_per_s", Sets: []qos.ValueSet{qos.Span(48, 24), qos.Span(23, 8)}},
+					{Attr: "codec", Sets: []qos.ValueSet{
+						qos.One(qos.Str("hq")), qos.One(qos.Str("main")), qos.One(qos.Str("fast")),
+					}},
+				},
+			},
+			{
+				Dim: "fidelity",
+				Attrs: []qos.AttrPref{
+					{Attr: "quantizer", Sets: []qos.ValueSet{
+						qos.One(qos.Int(2)), qos.One(qos.Int(4)), qos.One(qos.Int(8)), qos.One(qos.Int(16)),
+					}},
+				},
+			},
+		},
+	}
+}
+
+// OffloadDemand maps the offload spec to resources: CPU scales with block
+// rate and codec quality (hq = index 0 costs most, so invert the quality
+// index), fidelity raises memory pressure.
+func OffloadDemand(scale float64) task.DemandModel {
+	if scale <= 0 {
+		scale = 1
+	}
+	return task.FuncDemand(func(spec *qos.Spec, level qos.Level) (resource.Vector, error) {
+		bps, ok := level[qos.AttrKey{Dim: "throughput", Attr: "blocks_per_s"}]
+		if !ok {
+			return resource.Vector{}, fmt.Errorf("workload: offload level missing blocks_per_s")
+		}
+		codec := level[qos.AttrKey{Dim: "throughput", Attr: "codec"}]
+		quant := level[qos.AttrKey{Dim: "fidelity", Attr: "quantizer"}]
+		codecAttr := spec.Attr(qos.AttrKey{Dim: "throughput", Attr: "codec"})
+		ci := codecAttr.Domain.IndexOf(codec)
+		if ci < 0 {
+			return resource.Vector{}, fmt.Errorf("workload: codec %v outside domain", codec)
+		}
+		codecCost := float64(len(codecAttr.Domain.Values) - ci) // hq=3, main=2, fast=1
+		cpu := (10 + bps.Num()*2.2*codecCost) * scale
+		mem := (16 + 128/quant.Num()) * scale
+		bw := (20 + bps.Num()*4) * scale
+		en := (5 + bps.Num()*0.8*codecCost) * scale
+		return resource.V(
+			resource.KV{K: resource.CPU, A: cpu},
+			resource.KV{K: resource.Memory, A: mem},
+			resource.KV{K: resource.NetBW, A: bw},
+			resource.KV{K: resource.Energy, A: en},
+		), nil
+	})
+}
+
+// StreamService builds a video-streaming service with nTasks independent
+// stream tasks (e.g. pipeline stages or concurrent streams) over
+// VideoSpec, with demand scaled by scale and data sizes sized for the
+// communication-cost criterion.
+func StreamService(id string, nTasks int, scale float64) *task.Service {
+	svc := &task.Service{ID: id, Spec: VideoSpec()}
+	for i := 0; i < nTasks; i++ {
+		svc.Tasks = append(svc.Tasks, &task.Task{
+			ID:      fmt.Sprintf("t%d", i),
+			Request: StreamingRequest(id),
+			Demand:  VideoDemand(scale),
+			InBytes: 24 * 1024, OutBytes: 8 * 1024,
+		})
+	}
+	return svc
+}
+
+// SurveillanceService builds the paper's surveillance example as a
+// two-task service (capture+encode, relay).
+func SurveillanceService(id string, scale float64) *task.Service {
+	svc := &task.Service{ID: id, Spec: VideoSpec()}
+	for i, name := range []string{"encode", "relay"} {
+		req := SurveillanceRequest()
+		req.Service = id
+		svc.Tasks = append(svc.Tasks, &task.Task{
+			ID:      name,
+			Request: req,
+			Demand:  VideoDemand(scale * float64(1+i)),
+			InBytes: 16 * 1024, OutBytes: 16 * 1024,
+		})
+	}
+	return svc
+}
+
+// OffloadService builds an nTasks-way partitioned compression pipeline.
+func OffloadService(id string, nTasks int, scale float64) *task.Service {
+	svc := &task.Service{ID: id, Spec: OffloadSpec()}
+	for i := 0; i < nTasks; i++ {
+		svc.Tasks = append(svc.Tasks, &task.Task{
+			ID:      fmt.Sprintf("part%d", i),
+			Request: OffloadRequest(id),
+			Demand:  OffloadDemand(scale),
+			InBytes: 64 * 1024, OutBytes: 48 * 1024,
+		})
+	}
+	return svc
+}

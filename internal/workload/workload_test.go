@@ -1,0 +1,258 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/qos"
+	"repro/internal/radio"
+	"repro/internal/resource"
+)
+
+func TestPaperSpecMatchesSection3(t *testing.T) {
+	s := VideoSpec()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cd := s.Attr(qos.AttrKey{Dim: "video", Attr: "color_depth"})
+	want := []int64{1, 3, 8, 16, 24}
+	if len(cd.Domain.Values) != len(want) {
+		t.Fatalf("color depth domain = %v", cd.Domain.Values)
+	}
+	for i, v := range want {
+		if !cd.Domain.Values[i].Equal(qos.Int(v)) {
+			t.Errorf("color depth[%d] = %v, want %v (paper AVcolor_depth)", i, cd.Domain.Values[i], v)
+		}
+	}
+	fr := s.Attr(qos.AttrKey{Dim: "video", Attr: "frame_rate"})
+	if fr.Domain.Kind != qos.Continuous || fr.Domain.Min != 1 || fr.Domain.Max != 30 {
+		t.Errorf("frame rate domain = %+v, want continuous [1,30]", fr.Domain)
+	}
+	sr := s.Attr(qos.AttrKey{Dim: "audio", Attr: "sampling_rate"})
+	if sr.Domain.IndexOf(qos.Int(44)) != 3 {
+		t.Error("sampling rate domain should be {8,16,24,44}")
+	}
+}
+
+func TestSurveillanceRequestMatchesSection31(t *testing.T) {
+	r := SurveillanceRequest()
+	if err := r.Validate(VideoSpec()); err != nil {
+		t.Fatal(err)
+	}
+	// "Video is much more important than audio": video must come first.
+	if r.Dims[0].Dim != "video" || r.Dims[1].Dim != "audio" {
+		t.Error("dimension importance order wrong")
+	}
+	// frame rate more important than color depth.
+	if r.Dims[0].Attrs[0].Attr != "frame_rate" {
+		t.Error("attribute importance order wrong")
+	}
+	// Preferred: frame rate 10, color depth 3, audio 8/8.
+	pref := r.Preferred()
+	if pref[qos.AttrKey{Dim: "video", Attr: "frame_rate"}].Num() != 10 {
+		t.Error("preferred frame rate != 10")
+	}
+	if !pref[qos.AttrKey{Dim: "video", Attr: "color_depth"}].Equal(qos.Int(3)) {
+		t.Error("preferred color depth != 3")
+	}
+}
+
+func TestServiceTemplatesValidate(t *testing.T) {
+	for _, svc := range []interface {
+		Validate() error
+	}{
+		StreamService("s1", 3, 1),
+		SurveillanceService("s2", 1),
+		OffloadService("s3", 4, 1),
+	} {
+		if err := svc.Validate(); err != nil {
+			t.Errorf("template invalid: %v", err)
+		}
+	}
+}
+
+func TestVideoDemandMonotoneInQuality(t *testing.T) {
+	spec := VideoSpec()
+	dm := VideoDemand(1)
+	low := qos.Level{
+		{Dim: "video", Attr: "frame_rate"}:    qos.Int(5),
+		{Dim: "video", Attr: "color_depth"}:   qos.Int(1),
+		{Dim: "audio", Attr: "sampling_rate"}: qos.Int(8),
+		{Dim: "audio", Attr: "sample_bits"}:   qos.Int(8),
+	}
+	high := qos.Level{
+		{Dim: "video", Attr: "frame_rate"}:    qos.Int(30),
+		{Dim: "video", Attr: "color_depth"}:   qos.Int(24),
+		{Dim: "audio", Attr: "sampling_rate"}: qos.Int(44),
+		{Dim: "audio", Attr: "sample_bits"}:   qos.Int(24),
+	}
+	dl, err := dm.Demand(spec, low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dh, err := dm.Demand(spec, high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []resource.Kind{resource.CPU, resource.NetBW} {
+		if dh[k] <= dl[k] {
+			t.Errorf("%v demand not monotone: %v <= %v", k, dh[k], dl[k])
+		}
+	}
+	// Scaling doubles everything.
+	dm2 := VideoDemand(2)
+	d2, err := dm2.Demand(spec, low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2[resource.CPU] != 2*dl[resource.CPU] {
+		t.Errorf("scale 2: %v vs %v", d2[resource.CPU], dl[resource.CPU])
+	}
+}
+
+func TestOffloadDemandCodecCost(t *testing.T) {
+	spec := OffloadSpec()
+	dm := OffloadDemand(1)
+	mk := func(codec string) qos.Level {
+		return qos.Level{
+			{Dim: "throughput", Attr: "blocks_per_s"}: qos.Int(24),
+			{Dim: "throughput", Attr: "codec"}:        qos.Str(codec),
+			{Dim: "fidelity", Attr: "quantizer"}:      qos.Int(4),
+		}
+	}
+	hq, err := dm.Demand(spec, mk("hq"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := dm.Demand(spec, mk("fast"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hq[resource.CPU] <= fast[resource.CPU] {
+		t.Error("hq codec must cost more CPU than fast")
+	}
+	if _, err := dm.Demand(spec, qos.Level{}); err == nil {
+		t.Error("missing attributes accepted")
+	}
+	bad := mk("hq")
+	bad[qos.AttrKey{Dim: "throughput", Attr: "codec"}] = qos.Str("zzz")
+	if _, err := dm.Demand(spec, bad); err == nil {
+		t.Error("unknown codec accepted")
+	}
+}
+
+func TestProfilesOrderedByCapability(t *testing.T) {
+	ps := Profiles()
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Capacity[resource.CPU] <= ps[i-1].Capacity[resource.CPU] {
+			t.Errorf("profiles not ascending in CPU: %s <= %s", ps[i].Name, ps[i-1].Name)
+		}
+	}
+	if _, err := ProfileByName("laptop"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ProfileByName("mainframe"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestMixSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := Mix{
+		{Profile: Phone, Weight: 1},
+		{Profile: Laptop, Weight: 3},
+	}
+	counts := map[string]int{}
+	for i := 0; i < 4000; i++ {
+		counts[m.Sample(rng).Name]++
+	}
+	if counts["laptop"] < 2*counts["phone"] {
+		t.Errorf("weights ignored: %v", counts)
+	}
+	u := UniformMix(Phone, PDA)
+	c2 := map[string]int{}
+	for i := 0; i < 4000; i++ {
+		c2[u.Sample(rng).Name]++
+	}
+	if c2["phone"] == 0 || c2["pda"] == 0 {
+		t.Errorf("uniform mix skipped a profile: %v", c2)
+	}
+}
+
+func TestBuildScenarioDeterministic(t *testing.T) {
+	cfg := DefaultScenario(5)
+	a, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Profiles) != cfg.Nodes {
+		t.Fatalf("built %d nodes", len(a.Profiles))
+	}
+	for id, p := range a.Profiles {
+		if b.Profiles[id].Name != p.Name {
+			t.Fatalf("same seed produced different profiles at node %d", id)
+		}
+		pa, _ := a.Cluster.Medium.PosOf(id)
+		pb, _ := b.Cluster.Medium.PosOf(id)
+		if pa != pb {
+			t.Fatalf("same seed produced different positions at node %d", id)
+		}
+	}
+	// Node 0 is the weakest profile (the requesting phone).
+	if a.Profiles[0].Name != "phone" {
+		t.Errorf("node 0 profile = %s, want phone", a.Profiles[0].Name)
+	}
+	counts := a.ProfileCount()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != cfg.Nodes {
+		t.Errorf("profile counts = %v", counts)
+	}
+}
+
+func TestBuildMobileScenario(t *testing.T) {
+	cfg := DefaultScenario(9)
+	cfg.Mobile = true
+	cfg.Nodes = 4
+	sc, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Waypoint mobility: positions at t=0 and far future may differ.
+	moved := false
+	for _, id := range sc.Cluster.Nodes() {
+		p0, _ := sc.Cluster.Medium.PosOf(id)
+		sc.Cluster.Eng.At(500, func() {})
+		sc.Cluster.Run(500)
+		p1, _ := sc.Cluster.Medium.PosOf(id)
+		if p0 != p1 {
+			moved = true
+		}
+		break
+	}
+	_ = moved // mobility traces may pause; presence of a valid build is the core assertion
+}
+
+func TestBuildRejectsBadConfig(t *testing.T) {
+	cfg := DefaultScenario(1)
+	cfg.Nodes = 0
+	if _, err := Build(cfg); err == nil {
+		t.Error("zero nodes accepted")
+	}
+}
+
+func TestNodeSpecFor(t *testing.T) {
+	spec := NodeSpecFor(3, Laptop, radio.Static{X: 1, Y: 2})
+	if spec.ID != 3 || spec.Profile != "laptop" || spec.RangeM != Laptop.RangeM {
+		t.Errorf("spec = %+v", spec)
+	}
+	if spec.Capacity != Laptop.Capacity {
+		t.Error("capacity not copied")
+	}
+}

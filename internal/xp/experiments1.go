@@ -1,0 +1,255 @@
+package xp
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/qos"
+	"repro/internal/resource"
+	"repro/internal/workload"
+)
+
+// nodeSweep returns the population sizes exercised by the scaling
+// experiments.
+func nodeSweep(quick bool) []int {
+	if quick {
+		return []int{4, 8}
+	}
+	return []int{2, 4, 8, 16, 32}
+}
+
+func repeats(cfg Config) int {
+	if cfg.Repeats > 0 {
+		return cfg.Repeats
+	}
+	if cfg.Quick {
+		return 2
+	}
+	return 5
+}
+
+// E1AcceptanceVsNodes measures the fraction of tasks served as the
+// neighbourhood grows, for coalition formation versus the local-only
+// baseline. The service (5 video tasks at 2x demand) deliberately exceeds
+// a phone's capacity: the paper's "coalition formation is necessary when
+// a single node cannot execute a specific service".
+func E1AcceptanceVsNodes(cfg Config) (*metrics.Table, error) {
+	t := metrics.NewTable("E1 acceptance ratio vs population size",
+		"nodes", "coalition-acc", "local-acc", "coalition-util", "local-util", "rounds")
+	reps := repeats(cfg)
+	for _, n := range nodeSweep(cfg.Quick) {
+		var cAcc, lAcc, cUtil, lUtil, rounds metrics.Sample
+		for r := 0; r < reps; r++ {
+			seed := cfg.Seed + int64(r)
+			scfg := workload.DefaultScenario(seed)
+			scfg.Nodes = n
+			svc := workload.StreamService("e1", 5, 2.0)
+
+			// Local-only baseline on an identical, untouched scenario.
+			scBase, err := workload.Build(scfg)
+			if err != nil {
+				return nil, err
+			}
+			prob := snapshotProblem(scBase, svc)
+			la, err := baseline.LocalOnly{}.Allocate(prob)
+			if err != nil {
+				return nil, err
+			}
+			lAcc.Add(float64(len(la.Assigned)) / float64(len(svc.Tasks)))
+			lUtil.Add(allocUtility(svc, la))
+
+			out, err := runCoalition(scfg, svc, core.DefaultOrganizerConfig, 0)
+			if err != nil {
+				return nil, err
+			}
+			cAcc.Add(float64(len(out.Result.Assigned)) / float64(len(svc.Tasks)))
+			cUtil.Add(out.MeanUtility)
+			rounds.Add(float64(out.Result.Rounds))
+		}
+		t.AddRow(n,
+			metrics.Ratio(cAcc.Mean(), 1), metrics.Ratio(lAcc.Mean(), 1),
+			cUtil.Mean(), lUtil.Mean(), rounds.Mean())
+	}
+	t.Note("service: 5 video tasks at 2.0x demand; organizer is always a phone; %d seeds per row", reps)
+	return t, nil
+}
+
+// E2UtilityVsLoad compares the mean perceived utility (1 = preferred
+// level, 0 = unserved) of the coalition protocol against the random and
+// greedy baselines as per-task demand scales up on a fixed 16-node
+// population.
+func E2UtilityVsLoad(cfg Config) (*metrics.Table, error) {
+	t := metrics.NewTable("E2 user-perceived utility vs load",
+		"demand-scale", "coalition-util", "random-util", "greedy-util",
+		"coalition-acc", "random-acc", "greedy-acc")
+	scales := []float64{0.5, 1, 2, 4, 6}
+	if cfg.Quick {
+		scales = []float64{1, 4}
+	}
+	reps := repeats(cfg)
+	for _, scale := range scales {
+		var cu, ru, gu, ca, ra, ga metrics.Sample
+		for r := 0; r < reps; r++ {
+			seed := cfg.Seed + int64(r)
+			scfg := workload.DefaultScenario(seed)
+			svc := workload.StreamService("e2", 6, scale)
+
+			for name, s := range map[string]*struct {
+				u, a  *metrics.Sample
+				alloc baseline.Allocator
+			}{
+				"random": {u: &ru, a: &ra, alloc: baseline.Random{Rng: newRng(seed)}},
+				"greedy": {u: &gu, a: &ga, alloc: baseline.Greedy{}},
+			} {
+				scBase, err := workload.Build(scfg)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", name, err)
+				}
+				al, err := s.alloc.Allocate(snapshotProblem(scBase, svc))
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", name, err)
+				}
+				s.u.Add(allocUtility(svc, al))
+				s.a.Add(float64(len(al.Assigned)) / float64(len(svc.Tasks)))
+			}
+
+			out, err := runCoalition(scfg, svc, core.DefaultOrganizerConfig, 0)
+			if err != nil {
+				return nil, err
+			}
+			cu.Add(out.MeanUtility)
+			ca.Add(float64(len(out.Result.Assigned)) / float64(len(svc.Tasks)))
+		}
+		t.AddRow(scale, cu.Mean(), ru.Mean(), gu.Mean(),
+			metrics.Ratio(ca.Mean(), 1), metrics.Ratio(ra.Mean(), 1), metrics.Ratio(ga.Mean(), 1))
+	}
+	t.Note("16 nodes, 6-task video service; utility counts unserved tasks as 0; %d seeds per row", reps)
+	return t, nil
+}
+
+// E3MessageOverhead counts negotiation traffic per formed coalition as
+// the population grows: broadcast CFPs fan out to every neighbour, so
+// deliveries grow linearly while unicast replies track the population.
+func E3MessageOverhead(cfg Config) (*metrics.Table, error) {
+	t := metrics.NewTable("E3 negotiation message overhead",
+		"nodes", "broadcasts", "unicasts", "deliveries", "kbytes", "proposals", "formation-s")
+	reps := repeats(cfg)
+	for _, n := range nodeSweep(cfg.Quick) {
+		var bc, uc, del, kb, props, ft metrics.Sample
+		for r := 0; r < reps; r++ {
+			scfg := workload.DefaultScenario(cfg.Seed + int64(r))
+			scfg.Nodes = n
+			// Disable heartbeats and monitoring so the counters measure
+			// pure negotiation traffic.
+			scfg.Provider.HeartbeatEvery = 0
+			ocfg := core.DefaultOrganizerConfig
+			ocfg.Monitor = false
+			svc := workload.StreamService("e3", 4, 1.0)
+			out, err := runCoalition(scfg, svc, ocfg, 0)
+			if err != nil {
+				return nil, err
+			}
+			bc.Add(float64(out.Stats.Broadcasts))
+			uc.Add(float64(out.Stats.Unicasts))
+			del.Add(float64(out.Stats.Deliveries))
+			kb.Add(float64(out.Stats.Bytes) / 1024)
+			props.Add(float64(out.Result.ProposalsReceived))
+			ft.Add(out.Result.FormationTime)
+		}
+		t.AddRow(n, bc.Mean(), uc.Mean(), del.Mean(), kb.Mean(), props.Mean(), ft.Mean())
+	}
+	t.Note("4-task video service; heartbeats disabled, counts are pure negotiation traffic; %d seeds per row", reps)
+	return t, nil
+}
+
+// E4CoalitionSize measures how the member-consolidation pass (criterion
+// c) shrinks the coalition as the service grows, at equal or nearly equal
+// evaluation value.
+func E4CoalitionSize(cfg Config) (*metrics.Table, error) {
+	t := metrics.NewTable("E4 coalition size: consolidation ablation",
+		"tasks", "members(criterion-c)", "members(spread)", "dist(criterion-c)", "dist(spread)")
+	sizes := []int{1, 2, 4, 6, 8}
+	if cfg.Quick {
+		sizes = []int{2, 4}
+	}
+	reps := repeats(cfg)
+	for _, nt := range sizes {
+		var mc, mp, dc, dp metrics.Sample
+		for r := 0; r < reps; r++ {
+			seed := cfg.Seed + int64(r)
+			// 1.2x demand over a population without the access-point
+			// giant: strong nodes saturate after a couple of tasks, so
+			// packing (criterion c) and spreading genuinely differ.
+			svc := workload.StreamService("e4", nt, 1.2)
+			scfg := ablationScenario(seed)
+
+			on := core.DefaultOrganizerConfig
+			on.Policy = core.SelectionPolicy{DistanceEps: 0.1, UseCommCost: true, Consolidate: true}
+			off := core.DefaultOrganizerConfig
+			off.Policy = core.SelectionPolicy{DistanceEps: 0.1, UseCommCost: true, Spread: true}
+
+			outOn, err := runCoalition(scfg, svc, on, 0)
+			if err != nil {
+				return nil, err
+			}
+			outOff, err := runCoalition(scfg, svc, off, 0)
+			if err != nil {
+				return nil, err
+			}
+			mc.Add(float64(len(outOn.Result.Members())))
+			mp.Add(float64(len(outOff.Result.Members())))
+			dc.Add(outOn.Result.MeanDistance())
+			dp.Add(outOff.Result.MeanDistance())
+		}
+		t.AddRow(nt, mc.Mean(), mp.Mean(), dc.Mean(), dp.Mean())
+	}
+	t.Note("16 nodes (phones/PDAs/laptops, no access point) at 1.2x demand; %d seeds per row", reps)
+	t.Note("spread = load-balancing anti-policy: same distance band, prefers emptiest node")
+	return t, nil
+}
+
+// E5HeuristicVsOptimal compares the Section 5 degradation heuristic
+// against exhaustive search over the same ladder as local resources get
+// scarcer. capacity = fraction x (demand of the preferred level).
+func E5HeuristicVsOptimal(cfg Config) (*metrics.Table, error) {
+	t := metrics.NewTable("E5 degradation heuristic vs exhaustive optimum",
+		"capacity-frac", "paper-reward", "resource-aware-reward", "optimal-reward",
+		"paper-degr", "aware-degr", "optimal-degr")
+	fracs := []float64{1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3}
+	if cfg.Quick {
+		fracs = []float64{1.0, 0.6, 0.3}
+	}
+	spec := workload.VideoSpec()
+	req := workload.StreamingRequest("e5")
+	dm := workload.VideoDemand(1.0)
+
+	ladder, err := qos.BuildLadder(spec, &req, 3)
+	if err != nil {
+		return nil, err
+	}
+	preferred := ladder.Level(ladder.NewAssignment())
+	prefDemand, err := dm.Demand(spec, preferred)
+	if err != nil {
+		return nil, err
+	}
+	for _, frac := range fracs {
+		capacity := prefDemand.Scale(frac)
+		set := resource.NewSet(capacity)
+		h, herr := core.Formulate(spec, &req, dm, set.CanReserve, 3, nil)
+		ra, raerr := core.FormulateResourceAware(spec, &req, dm, set.CanReserve, 3, nil)
+		o, oerr := core.FormulateExhaustive(spec, &req, dm, set.CanReserve, 3, nil, 1<<20)
+		switch {
+		case herr != nil && oerr != nil && raerr != nil:
+			t.AddRow(frac, "infeasible", "infeasible", "infeasible", "-", "-", "-")
+		case herr != nil || oerr != nil || raerr != nil:
+			return nil, fmt.Errorf("xp: formulators disagree on feasibility at frac %g: %v / %v / %v", frac, herr, raerr, oerr)
+		default:
+			t.AddRow(frac, h.Reward, ra.Reward, o.Reward, h.Degradations, ra.Degradations, o.Degradations)
+		}
+	}
+	t.Note("video streaming request, grid 3; capacity scaled from the preferred level's demand")
+	t.Note("paper = S5 heuristic (min reward loss); resource-aware = extension scoring relief per reward lost")
+	return t, nil
+}

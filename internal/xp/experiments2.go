@@ -1,0 +1,397 @@
+package xp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/live"
+	"repro/internal/metrics"
+	"repro/internal/qos"
+	"repro/internal/radio"
+	"repro/internal/workload"
+)
+
+// E6SelectionAblation isolates the paper's three selection criteria:
+// distance only, distance + communication cost, and the full policy with
+// member consolidation.
+func E6SelectionAblation(cfg Config) (*metrics.Table, error) {
+	t := metrics.NewTable("E6 selection-criteria ablation",
+		"policy", "mean-dist", "total-commcost-s", "members", "acceptance")
+	policies := []struct {
+		name string
+		p    core.SelectionPolicy
+	}{
+		{"distance-only", core.SelectionPolicy{}},
+		{"+comm-cost", core.SelectionPolicy{DistanceEps: 0.05, UseCommCost: true}},
+		{"+consolidate (full)", core.SelectionPolicy{DistanceEps: 0.05, UseCommCost: true, Consolidate: true}},
+	}
+	reps := repeats(cfg)
+	for _, pol := range policies {
+		var dist, comm, members, acc metrics.Sample
+		for r := 0; r < reps; r++ {
+			scfg := ablationScenario(cfg.Seed + int64(r))
+			svc := workload.StreamService("e6", 6, 1.2)
+			ocfg := core.DefaultOrganizerConfig
+			ocfg.Policy = pol.p
+			out, err := runCoalition(scfg, svc, ocfg, 0)
+			if err != nil {
+				return nil, err
+			}
+			dist.Add(out.Result.MeanDistance())
+			members.Add(float64(len(out.Result.Members())))
+			acc.Add(float64(len(out.Result.Assigned)) / float64(len(svc.Tasks)))
+			var cc float64
+			for _, a := range out.Result.Assigned {
+				cc += a.CommCost
+			}
+			comm.Add(cc)
+		}
+		t.AddRow(pol.name, dist.Mean(), comm.Mean(), members.Mean(), metrics.Ratio(acc.Mean(), 1))
+	}
+	t.Note("16 nodes (no access point), 6 tasks at 1.2x demand, 2 ms/m propagation delay; %d seeds per policy", reps)
+	return t, nil
+}
+
+// E7FailureReconfig kills coalition members mid-operation and measures
+// how many tasks remain served with reconfiguration enabled versus
+// disabled.
+func E7FailureReconfig(cfg Config) (*metrics.Table, error) {
+	t := metrics.NewTable("E7 reconfiguration under member failures",
+		"failures", "served(reconfig)", "served(none)", "reconfigurations", "detected")
+	kills := []int{1, 2, 3}
+	if cfg.Quick {
+		kills = []int{1}
+	}
+	reps := repeats(cfg)
+	for _, k := range kills {
+		var servedOn, servedOff, reconfs, detected metrics.Sample
+		for r := 0; r < reps; r++ {
+			seed := cfg.Seed + int64(r)
+			for _, reconfig := range []bool{true, false} {
+				frac, nre, nfail, err := failureRun(seed, k, reconfig)
+				if err != nil {
+					return nil, err
+				}
+				if reconfig {
+					servedOn.Add(frac)
+					reconfs.Add(nre)
+					detected.Add(nfail)
+				} else {
+					servedOff.Add(frac)
+				}
+			}
+		}
+		t.AddRow(k, metrics.Ratio(servedOn.Mean(), 1), metrics.Ratio(servedOff.Mean(), 1),
+			reconfs.Mean(), detected.Mean())
+	}
+	t.Note("12 nodes, 4-task service; members killed at t=5s, served fraction measured at t=40s; %d seeds per row", reps)
+	return t, nil
+}
+
+func failureRun(seed int64, kills int, reconfig bool) (served, reconfs, failures float64, err error) {
+	scfg := workload.DefaultScenario(seed)
+	scfg.Nodes = 12
+	sc, err := workload.Build(scfg)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	svc := workload.StreamService("e7", 4, 1.2)
+	ocfg := core.DefaultOrganizerConfig
+	ocfg.Reconfigure = reconfig
+	var first *core.Result
+	org, err := sc.Cluster.Submit(0, 0, svc, ocfg, func(r *core.Result) {
+		if first == nil {
+			first = r
+		}
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	sc.Cluster.Eng.At(5, func() {
+		if first == nil {
+			return
+		}
+		killed := 0
+		for _, m := range first.Members() {
+			if m == 0 {
+				continue // never kill the organizer
+			}
+			sc.Cluster.FailNode(m)
+			killed++
+			if killed == kills {
+				break
+			}
+		}
+	})
+	sc.Cluster.Run(40)
+	if first == nil {
+		return 0, 0, 0, fmt.Errorf("xp: e7 formation never completed (seed %d)", seed)
+	}
+	frac := float64(len(org.Snapshot())) / float64(len(svc.Tasks))
+	return frac, float64(org.Reconfigurations), float64(org.Failures), nil
+}
+
+// E8Heterogeneity compares a phone requesting a demanding service in a
+// phone-only neighbourhood against heterogeneous neighbourhoods.
+func E8Heterogeneity(cfg Config) (*metrics.Table, error) {
+	t := metrics.NewTable("E8 heterogeneity: who helps a weak device",
+		"population", "acceptance", "mean-utility", "members", "remote-tasks")
+	pops := []struct {
+		name string
+		mix  workload.Mix
+	}{
+		{"8 phones", workload.UniformMix(workload.Phone)},
+		{"7 phones + 1 laptop", workload.Mix{
+			{Profile: workload.Phone, Weight: 7},
+			{Profile: workload.Laptop, Weight: 1},
+		}},
+		{"mixed (default)", workload.DefaultMix},
+		{"4 phones + 4 laptops", workload.Mix{
+			{Profile: workload.Phone, Weight: 1},
+			{Profile: workload.Laptop, Weight: 1},
+		}},
+	}
+	reps := repeats(cfg)
+	for _, pop := range pops {
+		var acc, util, members, remote metrics.Sample
+		for r := 0; r < reps; r++ {
+			scfg := workload.DefaultScenario(cfg.Seed + int64(r))
+			scfg.Nodes = 8
+			scfg.Mix = pop.mix
+			svc := workload.StreamService("e8", 4, 2.0)
+			out, err := runCoalition(scfg, svc, core.DefaultOrganizerConfig, 0)
+			if err != nil {
+				return nil, err
+			}
+			acc.Add(float64(len(out.Result.Assigned)) / float64(len(svc.Tasks)))
+			util.Add(out.MeanUtility)
+			members.Add(float64(len(out.Result.Members())))
+			rem := 0
+			for _, a := range out.Result.Assigned {
+				if a.Node != 0 {
+					rem++
+				}
+			}
+			remote.Add(float64(rem))
+		}
+		t.AddRow(pop.name, metrics.Ratio(acc.Mean(), 1), util.Mean(), members.Mean(), remote.Mean())
+	}
+	t.Note("8 nodes, organizer always a phone, 4 tasks at 2.0x demand; %d seeds per row", reps)
+	return t, nil
+}
+
+// E9DistanceConsistency property-checks the Section 6 evaluation over
+// randomized admissible proposals: distance is 0 exactly at the preferred
+// level, never negative, never above MaxDistance, and agrees with the
+// user's lexicographic preference order on a large sampled fraction of
+// comparable pairs.
+func E9DistanceConsistency(cfg Config) (*metrics.Table, error) {
+	t := metrics.NewTable("E9 evaluation-function consistency",
+		"request", "samples", "range-violations", "zero-at-preferred", "dominance-violations", "lex-agreement")
+	trials := 20000
+	if cfg.Quick {
+		trials = 2000
+	}
+	cases := []struct {
+		name string
+		spec *qos.Spec
+		req  qos.Request
+	}{
+		{"surveillance (S3.1)", workload.VideoSpec(), workload.SurveillanceRequest()},
+		{"streaming", workload.VideoSpec(), workload.StreamingRequest("e9")},
+		{"offload", workload.OffloadSpec(), workload.OffloadRequest("e9o")},
+	}
+	rng := newRng(cfg.Seed)
+	for _, c := range cases {
+		eval, err := qos.NewEvaluator(c.spec, &c.req)
+		if err != nil {
+			return nil, err
+		}
+		ladder, err := qos.BuildLadder(c.spec, &c.req, 4)
+		if err != nil {
+			return nil, err
+		}
+		maxD := eval.MaxDistance()
+		rangeViol, domViol := 0, 0
+		agree, comparable := 0, 0
+
+		dPref, err := eval.Distance(ladder.Level(ladder.NewAssignment()))
+		if err != nil {
+			return nil, err
+		}
+		zeroOK := dPref == 0
+
+		randAssign := func() qos.Assignment {
+			a := ladder.NewAssignment()
+			for i := range a {
+				a[i] = rng.Intn(len(ladder.Attrs[i].Choices))
+			}
+			return a
+		}
+		for i := 0; i < trials; i++ {
+			a, b := randAssign(), randAssign()
+			da, err := eval.Distance(ladder.Level(a))
+			if err != nil {
+				return nil, err
+			}
+			db, err := eval.Distance(ladder.Level(b))
+			if err != nil {
+				return nil, err
+			}
+			if da < 0 || da > maxD+1e-9 {
+				rangeViol++
+			}
+			// Dominance: a no deeper than b on every attribute and
+			// strictly shallower somewhere must not evaluate worse.
+			if dominates(a, b) && da > db+1e-9 {
+				domViol++
+			}
+			// Lexicographic agreement over the user's importance order.
+			if cmp := lexCompare(a, b); cmp != 0 {
+				comparable++
+				if (cmp < 0) == (da < db) && da != db {
+					agree++
+				}
+			}
+		}
+		t.AddRow(c.name, trials, rangeViol, zeroOK, domViol, metrics.Ratio(float64(agree), float64(comparable)))
+	}
+	t.Note("dominance uses ladder depth (the user's own per-attribute preference order)")
+	return t, nil
+}
+
+// dominates reports a <= b everywhere with a < b somewhere (ladder depth).
+func dominates(a, b qos.Assignment) bool {
+	strict := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// lexCompare compares two assignments in the user's importance order.
+func lexCompare(a, b qos.Assignment) int {
+	for i := range a {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// E10LiveVsSim runs the identical neighbourhood and service through the
+// discrete-event simulator and the goroutine runtime and compares the
+// resulting allocations.
+func E10LiveVsSim(cfg Config) (*metrics.Table, error) {
+	t := metrics.NewTable("E10 live goroutine runtime vs simulator",
+		"trial", "sim-members", "live-members", "same-assignment", "sim-dist", "live-dist")
+	reps := repeats(cfg)
+	matches := 0
+	for r := 0; r < reps; r++ {
+		simRes, err := e10Sim(cfg.Seed + int64(r))
+		if err != nil {
+			return nil, err
+		}
+		liveRes, err := e10Live(cfg.Seed + int64(r))
+		if err != nil {
+			return nil, err
+		}
+		same := sameAssignment(simRes, liveRes)
+		if same {
+			matches++
+		}
+		t.AddRow(r, len(simRes.Members()), len(liveRes.Members()), same,
+			simRes.MeanDistance(), liveRes.MeanDistance())
+	}
+	t.Note("deterministic 6-node neighbourhood; %d/%d identical allocations", matches, reps)
+	return t, nil
+}
+
+func e10Profiles() []workload.Profile {
+	return []workload.Profile{
+		workload.Phone, workload.PDA, workload.Laptop,
+		workload.PDA, workload.Laptop, workload.Phone,
+	}
+}
+
+func e10Sim(seed int64) (*core.Result, error) {
+	cl := core.NewCluster(seed, radio.Config{ProcDelay: 0.001}, core.DefaultProviderConfig)
+	for i, p := range e10Profiles() {
+		if _, err := cl.AddNode(workload.NodeSpecFor(radio.NodeID(i), p, core.GridPlacement(i, 6, 10))); err != nil {
+			return nil, err
+		}
+	}
+	svc := workload.StreamService("e10", 3, 1.0)
+	var res *core.Result
+	if _, err := cl.Submit(0, 0, svc, core.DefaultOrganizerConfig, func(r *core.Result) {
+		if res == nil {
+			res = r
+		}
+	}); err != nil {
+		return nil, err
+	}
+	cl.Run(5)
+	if res == nil {
+		return nil, fmt.Errorf("xp: e10 sim formation incomplete")
+	}
+	return res, nil
+}
+
+func e10Live(seed int64) (*core.Result, error) {
+	rt := live.NewRuntime(live.Config{TimeScale: 0.02, Provider: core.DefaultProviderConfig})
+	defer rt.Shutdown()
+	for i, p := range e10Profiles() {
+		pos := core.GridPlacement(i, 6, 10)
+		if _, err := rt.AddNode(radio.NodeID(i), radio.Pos(pos), p.RangeM, p.Bitrate, p.Capacity); err != nil {
+			return nil, err
+		}
+	}
+	svc := workload.StreamService("e10", 3, 1.0)
+	ch := make(chan *core.Result, 4)
+	n0 := rt.Node(0)
+	if _, err := n0.Submit(svc, core.DefaultOrganizerConfig, func(r *core.Result) {
+		select {
+		case ch <- r:
+		default:
+		}
+	}); err != nil {
+		return nil, err
+	}
+	// The negotiation needs ProposalWait+AckWait per round; wait out a
+	// generous multiple in scaled wall time.
+	deadline := 200 // x 50ms virtual => 10s virtual
+	for i := 0; i < deadline; i++ {
+		select {
+		case r := <-ch:
+			return r, nil
+		default:
+			rt.VirtualSleep(0.05)
+		}
+	}
+	return nil, fmt.Errorf("xp: e10 live formation timed out")
+}
+
+func sameAssignment(a, b *core.Result) bool {
+	if len(a.Assigned) != len(b.Assigned) {
+		return false
+	}
+	for tid, aa := range a.Assigned {
+		ba, ok := b.Assigned[tid]
+		if !ok || ba.Node != aa.Node {
+			return false
+		}
+		if math.Abs(ba.Distance-aa.Distance) > 1e-9 {
+			return false
+		}
+	}
+	return true
+}

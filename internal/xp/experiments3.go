@@ -1,0 +1,172 @@
+package xp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/radio"
+	"repro/internal/workload"
+)
+
+// E11MobilityStress measures formation and operation under node
+// mobility: the paper's scenario is "a local ad-hoc network [that]
+// forms spontaneously, as nodes move in range of each other", so the
+// protocol must survive links appearing and disappearing mid-coalition.
+func E11MobilityStress(cfg Config) (*metrics.Table, error) {
+	t := metrics.NewTable("E11 formation and operation under mobility",
+		"speed-m/s", "acceptance", "served@60s", "reconfigs", "failures-detected")
+	speeds := []float64{0, 1.2, 5, 15}
+	if cfg.Quick {
+		speeds = []float64{0, 5}
+	}
+	reps := repeats(cfg)
+	for _, speed := range speeds {
+		var acc, served, reconfs, fails metrics.Sample
+		for r := 0; r < reps; r++ {
+			scfg := workload.DefaultScenario(cfg.Seed + int64(r))
+			scfg.Nodes = 12
+			scfg.AreaM = 150 // wide area: movement genuinely breaks links
+			scfg.Mobile = speed > 0
+			scfg.MobileSpeed = speed
+			sc, err := workload.Build(scfg)
+			if err != nil {
+				return nil, err
+			}
+			svc := workload.StreamService("e11", 4, 1.0)
+			var first *core.Result
+			org, err := sc.Cluster.Submit(0, 0, svc, core.DefaultOrganizerConfig, func(res *core.Result) {
+				if first == nil {
+					first = res
+				}
+			})
+			if err != nil {
+				return nil, err
+			}
+			sc.Cluster.Run(60)
+			if first == nil {
+				return nil, fmt.Errorf("xp: e11 formation incomplete (speed %g seed %d)", speed, cfg.Seed+int64(r))
+			}
+			acc.Add(float64(len(first.Assigned)) / float64(len(svc.Tasks)))
+			served.Add(float64(len(org.Snapshot())) / float64(len(svc.Tasks)))
+			reconfs.Add(float64(org.Reconfigurations))
+			fails.Add(float64(org.Failures))
+		}
+		t.AddRow(speed, metrics.Ratio(acc.Mean(), 1), metrics.Ratio(served.Mean(), 1),
+			reconfs.Mean(), fails.Mean())
+	}
+	t.Note("12 nodes in a 150 m area, 4 tasks at 1.0x, monitored until t=60 s; %d seeds per row", reps)
+	t.Note("members leaving radio range are detected as failures and their tasks renegotiated")
+	return t, nil
+}
+
+// E12LossyRadio measures negotiation robustness to packet loss: lost
+// proposals or awards cost renegotiation rounds, and enough rounds let
+// the formation converge anyway.
+func E12LossyRadio(cfg Config) (*metrics.Table, error) {
+	t := metrics.NewTable("E12 negotiation under packet loss",
+		"loss-prob", "acceptance", "rounds", "formation-s", "drops")
+	losses := []float64{0, 0.05, 0.1, 0.2, 0.3}
+	if cfg.Quick {
+		losses = []float64{0, 0.2}
+	}
+	reps := repeats(cfg)
+	for _, loss := range losses {
+		var acc, rounds, ft, drops metrics.Sample
+		for r := 0; r < reps; r++ {
+			scfg := workload.DefaultScenario(cfg.Seed + int64(r))
+			scfg.Radio.LossProb = loss
+			scfg.Provider.HeartbeatEvery = 0
+			ocfg := core.DefaultOrganizerConfig
+			ocfg.Monitor = false
+			ocfg.MaxRounds = 8
+			svc := workload.StreamService("e12", 4, 1.0)
+			out, err := runCoalition(scfg, svc, ocfg, 0)
+			if err != nil {
+				return nil, err
+			}
+			acc.Add(float64(len(out.Result.Assigned)) / float64(len(svc.Tasks)))
+			rounds.Add(float64(out.Result.Rounds))
+			ft.Add(out.Result.FormationTime)
+			drops.Add(float64(out.Stats.Drops))
+		}
+		t.AddRow(loss, metrics.Ratio(acc.Mean(), 1), rounds.Mean(), ft.Mean(), drops.Mean())
+	}
+	t.Note("16 nodes, 4 tasks at 1.0x, up to 8 rounds, heartbeats off; %d seeds per row", reps)
+	return t, nil
+}
+
+// E13ConcurrentServices has several organizers negotiate simultaneously
+// over the same neighbourhood, the situation where a proposal is not a
+// hard commitment and award-time reservations can fail. It ablates the
+// provider-side tentative-hold mechanism (ProviderConfig.Hold).
+func E13ConcurrentServices(cfg Config) (*metrics.Table, error) {
+	t := metrics.NewTable("E13 concurrent negotiations: proposal holds ablation",
+		"services", "acc(no-hold)", "declines(no-hold)", "acc(hold)", "declines(hold)")
+	counts := []int{1, 2, 3, 4}
+	if cfg.Quick {
+		counts = []int{2}
+	}
+	reps := repeats(cfg)
+	for _, k := range counts {
+		var accNo, decNo, accHold, decHold metrics.Sample
+		for r := 0; r < reps; r++ {
+			seed := cfg.Seed + int64(r)
+			for _, hold := range []bool{false, true} {
+				acc, dec, err := concurrentRun(seed, k, hold)
+				if err != nil {
+					return nil, err
+				}
+				if hold {
+					accHold.Add(acc)
+					decHold.Add(dec)
+				} else {
+					accNo.Add(acc)
+					decNo.Add(dec)
+				}
+			}
+		}
+		t.AddRow(k, metrics.Ratio(accNo.Mean(), 1), decNo.Mean(),
+			metrics.Ratio(accHold.Mean(), 1), decHold.Mean())
+	}
+	t.Note("16 nodes; k organizers each request 3 tasks at 1.2x simultaneously; %d seeds per row", reps)
+	t.Note("holds reserve proposal demand tentatively until award or timeout")
+	return t, nil
+}
+
+func concurrentRun(seed int64, services int, hold bool) (acceptance, declines float64, err error) {
+	scfg := workload.DefaultScenario(seed)
+	scfg.Provider.Hold = hold
+	scfg.Provider.HoldTimeout = 1.0
+	sc, err := workload.Build(scfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	totalTasks := 0
+	results := make([]*core.Result, services)
+	for s := 0; s < services; s++ {
+		s := s
+		svc := workload.StreamService(fmt.Sprintf("e13-%d", s), 3, 1.2)
+		totalTasks += len(svc.Tasks)
+		if _, err := sc.Cluster.Submit(0, radio.NodeID(s), svc, core.DefaultOrganizerConfig, func(res *core.Result) {
+			if results[s] == nil {
+				results[s] = res
+			}
+		}); err != nil {
+			return 0, 0, err
+		}
+	}
+	sc.Cluster.Run(30)
+	assigned := 0
+	for s, res := range results {
+		if res == nil {
+			return 0, 0, fmt.Errorf("xp: e13 service %d incomplete (seed %d)", s, seed)
+		}
+		assigned += len(res.Assigned)
+	}
+	var totalDeclines float64
+	for _, id := range sc.Cluster.Nodes() {
+		totalDeclines += float64(sc.Cluster.Node(id).Provider.Declines)
+	}
+	return float64(assigned) / float64(totalTasks), totalDeclines, nil
+}

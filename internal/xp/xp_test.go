@@ -1,0 +1,189 @@
+package xp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quickCfg keeps experiment runs fast inside the test suite.
+var quickCfg = Config{Seed: 1, Repeats: 2, Quick: true}
+
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl, err := e.Run(quickCfg)
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			if tbl.Title == "" || len(tbl.Cols) == 0 {
+				t.Fatalf("%s produced a malformed table", e.ID)
+			}
+			for _, row := range tbl.Rows {
+				if len(row) != len(tbl.Cols) {
+					t.Fatalf("%s row width %d != header %d", e.ID, len(row), len(tbl.Cols))
+				}
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("E5")
+	if err != nil || e.ID != "E5" {
+		t.Fatalf("ByID(E5) = %+v, %v", e, err)
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Error("unknown ID accepted")
+	}
+}
+
+func TestExperimentIDsUniqueAndOrdered(t *testing.T) {
+	seen := map[string]bool{}
+	for i, e := range All() {
+		if seen[e.ID] {
+			t.Errorf("duplicate %s", e.ID)
+		}
+		seen[e.ID] = true
+		want := "E" + strconv.Itoa(i+1)
+		if e.ID != want {
+			t.Errorf("experiment %d has ID %s, want %s", i, e.ID, want)
+		}
+		if e.Claim == "" || e.Title == "" {
+			t.Errorf("%s missing claim or title", e.ID)
+		}
+	}
+}
+
+// TestE1CoalitionBeatsLocalOnly pins the headline result: with enough
+// neighbours, coalition acceptance must strictly exceed the local-only
+// baseline for an over-demanding service.
+func TestE1CoalitionBeatsLocalOnly(t *testing.T) {
+	tbl, err := E1AcceptanceVsNodes(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tbl.Rows[len(tbl.Rows)-1]
+	coalition := parsePct(t, last[1])
+	local := parsePct(t, last[2])
+	if coalition <= local {
+		t.Errorf("coalition %v%% must beat local-only %v%%", coalition, local)
+	}
+	if coalition < 50 {
+		t.Errorf("coalition acceptance %v%% suspiciously low at max population", coalition)
+	}
+}
+
+// TestE5ResourceAwareAtLeastPaper pins the extension result: the
+// resource-aware formulator never does worse than the paper heuristic.
+func TestE5ResourceAwareAtLeastPaper(t *testing.T) {
+	tbl, err := E5HeuristicVsOptimal(Config{Seed: 1, Repeats: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[1] == "infeasible" {
+			continue
+		}
+		paper := parseF(t, row[1])
+		aware := parseF(t, row[2])
+		optimal := parseF(t, row[3])
+		if aware < paper-1e-9 {
+			t.Errorf("frac %s: aware %v < paper %v", row[0], aware, paper)
+		}
+		if optimal < aware-1e-9 {
+			t.Errorf("frac %s: optimal %v < aware %v", row[0], optimal, aware)
+		}
+	}
+}
+
+// TestE9NoViolations pins the evaluation-function invariants: zero range
+// violations and zero dominance violations for the repo's requests.
+func TestE9NoViolations(t *testing.T) {
+	tbl, err := E9DistanceConsistency(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[2] != "0" {
+			t.Errorf("%s: %s range violations", row[0], row[2])
+		}
+		if row[3] != "true" {
+			t.Errorf("%s: distance not zero at preferred", row[0])
+		}
+		if row[4] != "0" {
+			t.Errorf("%s: %s dominance violations", row[0], row[4])
+		}
+	}
+}
+
+// TestE13HoldsEliminateDeclines pins the holds ablation: with tentative
+// holds enabled, award declines must be zero at every concurrency level.
+func TestE13HoldsEliminateDeclines(t *testing.T) {
+	tbl, err := E13ConcurrentServices(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if parseF(t, row[4]) != 0 {
+			t.Errorf("services=%s: %s declines with holds enabled", row[0], row[4])
+		}
+	}
+}
+
+// TestE14ServiceSurvivesBatteryDeaths pins the battery experiment: the
+// service must stay fully served despite helper exhaustion (the mains
+// access point is always available as a fallback).
+func TestE14ServiceSurvivesBatteryDeaths(t *testing.T) {
+	tbl, err := E14EnergyDepletion(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if got := parsePct(t, row[4]); got < 100 {
+			t.Errorf("drain=%s: served fell to %v%%", row[0], got)
+		}
+	}
+}
+
+// TestE15UpgradeNeverRegresses pins the adaptation extension: the
+// post-upgrade distance is never worse than the pre-upgrade one, and
+// with arriving laptops it strictly improves.
+func TestE15UpgradeNeverRegresses(t *testing.T) {
+	tbl, err := E15QualityUpgrade(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		before, after := parseF(t, row[1]), parseF(t, row[2])
+		if after > before+1e-9 {
+			t.Errorf("arrivals=%s: distance regressed %v -> %v", row[0], before, after)
+		}
+		if row[0] != "0" && after >= before {
+			t.Errorf("arrivals=%s: no improvement (%v -> %v)", row[0], before, after)
+		}
+	}
+}
+
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(s, "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("bad percentage %q", s)
+	}
+	return v
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("bad float %q", s)
+	}
+	return v
+}
