@@ -1,14 +1,18 @@
 package repro
 
-// One benchmark per experiment (E1-E10, the repo's "evaluation section";
-// the paper publishes no tables or figures, see DESIGN.md) plus
-// micro-benchmarks for the hot paths: distance evaluation, proposal
-// formulation, winner selection, and a full end-to-end formation.
+// One benchmark per experiment (E1-E15, the repo's "evaluation section";
+// the paper publishes no tables or figures, see DESIGN.md and
+// EXPERIMENTS.md) plus micro-benchmarks for the hot paths: distance
+// evaluation, proposal formulation, winner selection, and a full
+// end-to-end formation.
 //
 // Experiment benchmarks run the Quick configuration once per iteration;
-// run cmd/qosbench for the full-size tables.
+// run cmd/qosbench for the full-size tables. BenchmarkSweepParallel
+// measures how the xp sweep engine scales with worker-pool width.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -52,6 +56,29 @@ func BenchmarkE12LossyRadio(b *testing.B)         { benchExperiment(b, xp.E12Los
 func BenchmarkE13ConcurrentServices(b *testing.B) { benchExperiment(b, xp.E13ConcurrentServices) }
 func BenchmarkE14EnergyDepletion(b *testing.B)    { benchExperiment(b, xp.E14EnergyDepletion) }
 func BenchmarkE15QualityUpgrade(b *testing.B)     { benchExperiment(b, xp.E15QualityUpgrade) }
+
+// BenchmarkSweepParallel runs one full-size replication-heavy
+// experiment at increasing worker-pool widths. Throughput should scale
+// with cores while the emitted table stays bit-identical (asserted in
+// internal/xp's determinism test).
+func BenchmarkSweepParallel(b *testing.B) {
+	widths := []int{1, 2, 4, runtime.NumCPU()}
+	for _, w := range widths {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cfg := xp.Config{Seed: 1, Repeats: 5, Parallel: w}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tbl, err := xp.E1AcceptanceVsNodes(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(tbl.Rows) == 0 {
+					b.Fatal("empty table")
+				}
+			}
+		})
+	}
+}
 
 // --- micro-benchmarks ---
 

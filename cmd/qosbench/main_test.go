@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"io"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	o, err := parseFlags(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.seed != 1 || o.repeats != 5 || o.quick || o.csv || o.run != "" || o.jsonPath != "" {
+		t.Errorf("unexpected defaults: %+v", o)
+	}
+	if o.parallel != runtime.NumCPU() {
+		t.Errorf("default parallel = %d, want NumCPU = %d", o.parallel, runtime.NumCPU())
+	}
+}
+
+func TestParseFlagsAll(t *testing.T) {
+	o, err := parseFlags([]string{
+		"-seed", "7", "-repeats", "3", "-quick", "-csv",
+		"-run", "E1,E5", "-parallel", "8", "-json", "out.json",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := options{seed: 7, repeats: 3, quick: true, csv: true,
+		run: "E1,E5", parallel: 8, jsonPath: "out.json"}
+	if *o != want {
+		t.Errorf("got %+v, want %+v", *o, want)
+	}
+}
+
+func TestParseFlagsRejects(t *testing.T) {
+	for _, args := range [][]string{
+		{"-parallel", "0"},
+		{"-repeats", "0"},
+		{"-nonsense"},
+		{"stray-positional"},
+	} {
+		var errw bytes.Buffer
+		if _, err := parseFlags(args, &errw); err == nil {
+			t.Errorf("parseFlags(%v) accepted", args)
+		} else if errw.Len() == 0 {
+			t.Errorf("parseFlags(%v) reported nothing to errw", args)
+		}
+	}
+	// -h is help, not an invalid invocation.
+	if _, err := parseFlags([]string{"-h"}, io.Discard); !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("-h returned %v, want flag.ErrHelp", err)
+	}
+}
+
+func TestSelectExperiments(t *testing.T) {
+	all, err := selectExperiments("")
+	if err != nil || len(all) != 15 {
+		t.Fatalf("default selection: %d experiments, err %v", len(all), err)
+	}
+	two, err := selectExperiments("E5, E1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(two) != 2 || two[0].ID != "E5" || two[1].ID != "E1" {
+		t.Errorf("filtered selection wrong: %+v", two)
+	}
+	if _, err := selectExperiments("E99"); err == nil {
+		t.Error("unknown ID accepted")
+	}
+}
+
+// TestRunSuiteParallelIdenticalOutput is the CLI-level determinism
+// check behind the -parallel flag: the printed tables are byte-identical
+// at widths 1 and 8, and the JSON document carries every requested
+// experiment with a wall time.
+func TestRunSuiteParallelIdenticalOutput(t *testing.T) {
+	outputs := map[int]string{}
+	var res *metrics.Results
+	exps, err := selectExperiments("E1,E5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 8} {
+		var out, errw bytes.Buffer
+		o := &options{seed: 1, repeats: 2, quick: true, run: "E1,E5", parallel: par}
+		r, failed := runSuite(o, exps, &out, &errw)
+		if failed != 0 {
+			t.Fatalf("parallel=%d: %d failures: %s", par, failed, errw.String())
+		}
+		// Strip the wall-clock elapsed lines; everything else must match.
+		var kept []string
+		for _, line := range strings.Split(out.String(), "\n") {
+			if !strings.HasPrefix(line, "# elapsed:") {
+				kept = append(kept, line)
+			}
+		}
+		outputs[par] = strings.Join(kept, "\n")
+		res = r
+	}
+	if outputs[1] != outputs[8] {
+		t.Errorf("output differs between -parallel 1 and -parallel 8:\n--- 1 ---\n%s\n--- 8 ---\n%s",
+			outputs[1], outputs[8])
+	}
+	if len(res.Experiments) != 2 || res.Experiments[0].ID != "E1" || res.Experiments[1].ID != "E5" {
+		t.Fatalf("results document experiments wrong: %+v", res.Experiments)
+	}
+	for _, e := range res.Experiments {
+		if e.WallSeconds <= 0 {
+			t.Errorf("%s: wall time %v not recorded", e.ID, e.WallSeconds)
+		}
+		if e.Table == nil || len(e.Table.Rows) == 0 {
+			t.Errorf("%s: table missing from document", e.ID)
+		}
+	}
+	if _, err := json.Marshal(res); err != nil {
+		t.Errorf("results document does not marshal: %v", err)
+	}
+}

@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	orig := NewTable("E0 round trip", "a", "b", "c")
+	orig.AddRow(1, 2.5, "x,\"quoted\"")
+	orig.AddRow("row2", 0.0001234, true)
+	orig.Note("first note %d", 1)
+	orig.Note("second note")
+
+	b, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Table
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Title != orig.Title {
+		t.Errorf("title %q != %q", back.Title, orig.Title)
+	}
+	if strings.Join(back.Cols, "|") != strings.Join(orig.Cols, "|") {
+		t.Errorf("cols %v != %v", back.Cols, orig.Cols)
+	}
+	if len(back.Rows) != len(orig.Rows) {
+		t.Fatalf("rows %d != %d", len(back.Rows), len(orig.Rows))
+	}
+	for i := range orig.Rows {
+		if strings.Join(back.Rows[i], "|") != strings.Join(orig.Rows[i], "|") {
+			t.Errorf("row %d: %v != %v", i, back.Rows[i], orig.Rows[i])
+		}
+	}
+	if len(back.Notes) != 2 || back.Notes[0] != "first note 1" {
+		t.Errorf("notes did not survive: %v", back.Notes)
+	}
+	// The rendered forms must agree exactly.
+	if back.String() != orig.String() {
+		t.Error("String() differs after round trip")
+	}
+	if back.CSV() != orig.CSV() {
+		t.Error("CSV() differs after round trip")
+	}
+}
+
+func TestTableJSONEmptyRows(t *testing.T) {
+	b, err := json.Marshal(NewTable("empty", "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), `"rows":null`) {
+		t.Errorf("empty table marshals rows as null: %s", b)
+	}
+}
+
+// TestAccumulatorConcurrentDeterminism hammers an Accumulator from many
+// goroutines writing slots in scrambled order and checks the resulting
+// Samples match a sequential fill exactly (bit-identical sums).
+func TestAccumulatorConcurrentDeterminism(t *testing.T) {
+	const points, reps = 7, 64
+	vec := func(p, r int) []float64 {
+		return []float64{float64(p) + 1/(float64(r)+1.5), float64(r) * 0.1}
+	}
+	seq := NewAccumulator(points, reps)
+	for p := 0; p < points; p++ {
+		for r := 0; r < reps; r++ {
+			seq.Put(p, r, vec(p, r))
+		}
+	}
+	par := NewAccumulator(points, reps)
+	var wg sync.WaitGroup
+	for p := 0; p < points; p++ {
+		for r := 0; r < reps; r++ {
+			p, r := p, r
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				par.Put(p, r, vec(p, r))
+			}()
+		}
+	}
+	wg.Wait()
+	for p := 0; p < points; p++ {
+		ss, ps := seq.Point(p), par.Point(p)
+		if len(ss) != len(ps) {
+			t.Fatalf("point %d: width %d != %d", p, len(ps), len(ss))
+		}
+		for k := range ss {
+			if ss[k].Sum() != ps[k].Sum() || ss[k].Mean() != ps[k].Mean() {
+				t.Errorf("point %d col %d: parallel stats differ from sequential", p, k)
+			}
+		}
+	}
+}
+
+func TestAccumulatorSkipsNaN(t *testing.T) {
+	a := NewAccumulator(1, 3)
+	a.Put(0, 0, []float64{1, math.NaN()})
+	a.Put(0, 1, []float64{math.NaN(), 4})
+	a.Put(0, 2, []float64{3, 6})
+	s := a.Point(0)
+	if s[0].N() != 2 || s[0].Mean() != 2 {
+		t.Errorf("col 0: n=%d mean=%v, want 2 and 2", s[0].N(), s[0].Mean())
+	}
+	if s[1].N() != 2 || s[1].Mean() != 5 {
+		t.Errorf("col 1: n=%d mean=%v, want 2 and 5", s[1].N(), s[1].Mean())
+	}
+}
+
+func TestResultsDocument(t *testing.T) {
+	res := NewResults("qosbench", map[string]any{"seed": 1, "parallel": 8})
+	tbl := NewTable("E1", "nodes", "acc")
+	tbl.AddRow(4, "75.0%")
+	res.Add("E1", "Acceptance", "claim text", 1500*time.Millisecond, tbl, nil)
+	res.Add("E2", "Broken", "", time.Second, nil, errTest)
+	res.WallSeconds = 2.5
+
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := res.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var back Results
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Tool != "qosbench" || back.GoVersion == "" || back.NumCPU <= 0 {
+		t.Errorf("metadata missing: %+v", back)
+	}
+	if len(back.Experiments) != 2 {
+		t.Fatalf("got %d experiments", len(back.Experiments))
+	}
+	if back.Experiments[0].WallSeconds != 1.5 {
+		t.Errorf("wall time %v, want 1.5", back.Experiments[0].WallSeconds)
+	}
+	if back.Experiments[0].Table == nil || back.Experiments[0].Table.Rows[0][0] != "4" {
+		t.Errorf("table did not survive: %+v", back.Experiments[0].Table)
+	}
+	if back.Experiments[1].Error != "boom" {
+		t.Errorf("error not recorded: %q", back.Experiments[1].Error)
+	}
+}
+
+var errTest = errBoom{}
+
+type errBoom struct{}
+
+func (errBoom) Error() string { return "boom" }

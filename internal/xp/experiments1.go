@@ -38,39 +38,43 @@ func repeats(cfg Config) int {
 func E1AcceptanceVsNodes(cfg Config) (*metrics.Table, error) {
 	t := metrics.NewTable("E1 acceptance ratio vs population size",
 		"nodes", "coalition-acc", "local-acc", "coalition-util", "local-util", "rounds")
+	nodes := nodeSweep(cfg.Quick)
 	reps := repeats(cfg)
-	for _, n := range nodeSweep(cfg.Quick) {
-		var cAcc, lAcc, cUtil, lUtil, rounds metrics.Sample
-		for r := 0; r < reps; r++ {
-			seed := cfg.Seed + int64(r)
-			scfg := workload.DefaultScenario(seed)
-			scfg.Nodes = n
-			svc := workload.StreamService("e1", 5, 2.0)
+	acc, err := sweep(cfg, reps, nodes, func(n int, rep Rep) ([]float64, error) {
+		scfg := workload.DefaultScenario(rep.Seed)
+		scfg.Nodes = n
+		svc := workload.StreamService("e1", 5, 2.0)
 
-			// Local-only baseline on an identical, untouched scenario.
-			scBase, err := workload.Build(scfg)
-			if err != nil {
-				return nil, err
-			}
-			prob := snapshotProblem(scBase, svc)
-			la, err := baseline.LocalOnly{}.Allocate(prob)
-			if err != nil {
-				return nil, err
-			}
-			lAcc.Add(float64(len(la.Assigned)) / float64(len(svc.Tasks)))
-			lUtil.Add(allocUtility(svc, la))
-
-			out, err := runCoalition(scfg, svc, core.DefaultOrganizerConfig, 0)
-			if err != nil {
-				return nil, err
-			}
-			cAcc.Add(float64(len(out.Result.Assigned)) / float64(len(svc.Tasks)))
-			cUtil.Add(out.MeanUtility)
-			rounds.Add(float64(out.Result.Rounds))
+		// Local-only baseline on an identical, untouched scenario.
+		scBase, err := workload.Build(scfg)
+		if err != nil {
+			return nil, err
 		}
+		la, err := baseline.LocalOnly{}.Allocate(snapshotProblem(scBase, svc))
+		if err != nil {
+			return nil, err
+		}
+
+		out, err := runCoalition(scfg, svc, core.DefaultOrganizerConfig, 0)
+		if err != nil {
+			return nil, err
+		}
+		return []float64{
+			float64(len(out.Result.Assigned)) / float64(len(svc.Tasks)),
+			float64(len(la.Assigned)) / float64(len(svc.Tasks)),
+			out.MeanUtility,
+			allocUtility(svc, la),
+			float64(out.Result.Rounds),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range nodes {
+		s := acc.Point(i)
 		t.AddRow(n,
-			metrics.Ratio(cAcc.Mean(), 1), metrics.Ratio(lAcc.Mean(), 1),
-			cUtil.Mean(), lUtil.Mean(), rounds.Mean())
+			metrics.Ratio(s[0].Mean(), 1), metrics.Ratio(s[1].Mean(), 1),
+			s[2].Mean(), s[3].Mean(), s[4].Mean())
 	}
 	t.Note("service: 5 video tasks at 2.0x demand; organizer is always a phone; %d seeds per row", reps)
 	return t, nil
@@ -89,41 +93,47 @@ func E2UtilityVsLoad(cfg Config) (*metrics.Table, error) {
 		scales = []float64{1, 4}
 	}
 	reps := repeats(cfg)
-	for _, scale := range scales {
-		var cu, ru, gu, ca, ra, ga metrics.Sample
-		for r := 0; r < reps; r++ {
-			seed := cfg.Seed + int64(r)
-			scfg := workload.DefaultScenario(seed)
-			svc := workload.StreamService("e2", 6, scale)
+	acc, err := sweep(cfg, reps, scales, func(scale float64, rep Rep) ([]float64, error) {
+		scfg := workload.DefaultScenario(rep.Seed)
+		svc := workload.StreamService("e2", 6, scale)
 
-			for name, s := range map[string]*struct {
-				u, a  *metrics.Sample
-				alloc baseline.Allocator
-			}{
-				"random": {u: &ru, a: &ra, alloc: baseline.Random{Rng: newRng(seed)}},
-				"greedy": {u: &gu, a: &ga, alloc: baseline.Greedy{}},
-			} {
-				scBase, err := workload.Build(scfg)
-				if err != nil {
-					return nil, fmt.Errorf("%s: %w", name, err)
-				}
-				al, err := s.alloc.Allocate(snapshotProblem(scBase, svc))
-				if err != nil {
-					return nil, fmt.Errorf("%s: %w", name, err)
-				}
-				s.u.Add(allocUtility(svc, al))
-				s.a.Add(float64(len(al.Assigned)) / float64(len(svc.Tasks)))
-			}
-
-			out, err := runCoalition(scfg, svc, core.DefaultOrganizerConfig, 0)
+		// Each baseline allocates on its own freshly built copy of the
+		// identical scenario.
+		runBase := func(name string, alloc baseline.Allocator) (util, accepted float64, err error) {
+			scBase, err := workload.Build(scfg)
 			if err != nil {
-				return nil, err
+				return 0, 0, fmt.Errorf("%s: %w", name, err)
 			}
-			cu.Add(out.MeanUtility)
-			ca.Add(float64(len(out.Result.Assigned)) / float64(len(svc.Tasks)))
+			al, err := alloc.Allocate(snapshotProblem(scBase, svc))
+			if err != nil {
+				return 0, 0, fmt.Errorf("%s: %w", name, err)
+			}
+			return allocUtility(svc, al), float64(len(al.Assigned)) / float64(len(svc.Tasks)), nil
 		}
-		t.AddRow(scale, cu.Mean(), ru.Mean(), gu.Mean(),
-			metrics.Ratio(ca.Mean(), 1), metrics.Ratio(ra.Mean(), 1), metrics.Ratio(ga.Mean(), 1))
+		ru, ra, err := runBase("random", baseline.Random{Rng: newRng(rep.Seed)})
+		if err != nil {
+			return nil, err
+		}
+		gu, ga, err := runBase("greedy", baseline.Greedy{})
+		if err != nil {
+			return nil, err
+		}
+
+		out, err := runCoalition(scfg, svc, core.DefaultOrganizerConfig, 0)
+		if err != nil {
+			return nil, err
+		}
+		cu := out.MeanUtility
+		ca := float64(len(out.Result.Assigned)) / float64(len(svc.Tasks))
+		return []float64{cu, ru, gu, ca, ra, ga}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, scale := range scales {
+		s := acc.Point(i)
+		t.AddRow(scale, s[0].Mean(), s[1].Mean(), s[2].Mean(),
+			metrics.Ratio(s[3].Mean(), 1), metrics.Ratio(s[4].Mean(), 1), metrics.Ratio(s[5].Mean(), 1))
 	}
 	t.Note("16 nodes, 6-task video service; utility counts unserved tasks as 0; %d seeds per row", reps)
 	return t, nil
@@ -135,30 +145,36 @@ func E2UtilityVsLoad(cfg Config) (*metrics.Table, error) {
 func E3MessageOverhead(cfg Config) (*metrics.Table, error) {
 	t := metrics.NewTable("E3 negotiation message overhead",
 		"nodes", "broadcasts", "unicasts", "deliveries", "kbytes", "proposals", "formation-s")
+	nodes := nodeSweep(cfg.Quick)
 	reps := repeats(cfg)
-	for _, n := range nodeSweep(cfg.Quick) {
-		var bc, uc, del, kb, props, ft metrics.Sample
-		for r := 0; r < reps; r++ {
-			scfg := workload.DefaultScenario(cfg.Seed + int64(r))
-			scfg.Nodes = n
-			// Disable heartbeats and monitoring so the counters measure
-			// pure negotiation traffic.
-			scfg.Provider.HeartbeatEvery = 0
-			ocfg := core.DefaultOrganizerConfig
-			ocfg.Monitor = false
-			svc := workload.StreamService("e3", 4, 1.0)
-			out, err := runCoalition(scfg, svc, ocfg, 0)
-			if err != nil {
-				return nil, err
-			}
-			bc.Add(float64(out.Stats.Broadcasts))
-			uc.Add(float64(out.Stats.Unicasts))
-			del.Add(float64(out.Stats.Deliveries))
-			kb.Add(float64(out.Stats.Bytes) / 1024)
-			props.Add(float64(out.Result.ProposalsReceived))
-			ft.Add(out.Result.FormationTime)
+	acc, err := sweep(cfg, reps, nodes, func(n int, rep Rep) ([]float64, error) {
+		scfg := workload.DefaultScenario(rep.Seed)
+		scfg.Nodes = n
+		// Disable heartbeats and monitoring so the counters measure
+		// pure negotiation traffic.
+		scfg.Provider.HeartbeatEvery = 0
+		ocfg := core.DefaultOrganizerConfig
+		ocfg.Monitor = false
+		svc := workload.StreamService("e3", 4, 1.0)
+		out, err := runCoalition(scfg, svc, ocfg, 0)
+		if err != nil {
+			return nil, err
 		}
-		t.AddRow(n, bc.Mean(), uc.Mean(), del.Mean(), kb.Mean(), props.Mean(), ft.Mean())
+		return []float64{
+			float64(out.Stats.Broadcasts),
+			float64(out.Stats.Unicasts),
+			float64(out.Stats.Deliveries),
+			float64(out.Stats.Bytes) / 1024,
+			float64(out.Result.ProposalsReceived),
+			out.Result.FormationTime,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range nodes {
+		s := acc.Point(i)
+		t.AddRow(n, s[0].Mean(), s[1].Mean(), s[2].Mean(), s[3].Mean(), s[4].Mean(), s[5].Mean())
 	}
 	t.Note("4-task video service; heartbeats disabled, counts are pure negotiation traffic; %d seeds per row", reps)
 	return t, nil
@@ -175,35 +191,39 @@ func E4CoalitionSize(cfg Config) (*metrics.Table, error) {
 		sizes = []int{2, 4}
 	}
 	reps := repeats(cfg)
-	for _, nt := range sizes {
-		var mc, mp, dc, dp metrics.Sample
-		for r := 0; r < reps; r++ {
-			seed := cfg.Seed + int64(r)
-			// 1.2x demand over a population without the access-point
-			// giant: strong nodes saturate after a couple of tasks, so
-			// packing (criterion c) and spreading genuinely differ.
-			svc := workload.StreamService("e4", nt, 1.2)
-			scfg := ablationScenario(seed)
+	acc, err := sweep(cfg, reps, sizes, func(nt int, rep Rep) ([]float64, error) {
+		// 1.2x demand over a population without the access-point
+		// giant: strong nodes saturate after a couple of tasks, so
+		// packing (criterion c) and spreading genuinely differ.
+		svc := workload.StreamService("e4", nt, 1.2)
+		scfg := ablationScenario(rep.Seed)
 
-			on := core.DefaultOrganizerConfig
-			on.Policy = core.SelectionPolicy{DistanceEps: 0.1, UseCommCost: true, Consolidate: true}
-			off := core.DefaultOrganizerConfig
-			off.Policy = core.SelectionPolicy{DistanceEps: 0.1, UseCommCost: true, Spread: true}
+		on := core.DefaultOrganizerConfig
+		on.Policy = core.SelectionPolicy{DistanceEps: 0.1, UseCommCost: true, Consolidate: true}
+		off := core.DefaultOrganizerConfig
+		off.Policy = core.SelectionPolicy{DistanceEps: 0.1, UseCommCost: true, Spread: true}
 
-			outOn, err := runCoalition(scfg, svc, on, 0)
-			if err != nil {
-				return nil, err
-			}
-			outOff, err := runCoalition(scfg, svc, off, 0)
-			if err != nil {
-				return nil, err
-			}
-			mc.Add(float64(len(outOn.Result.Members())))
-			mp.Add(float64(len(outOff.Result.Members())))
-			dc.Add(outOn.Result.MeanDistance())
-			dp.Add(outOff.Result.MeanDistance())
+		outOn, err := runCoalition(scfg, svc, on, 0)
+		if err != nil {
+			return nil, err
 		}
-		t.AddRow(nt, mc.Mean(), mp.Mean(), dc.Mean(), dp.Mean())
+		outOff, err := runCoalition(scfg, svc, off, 0)
+		if err != nil {
+			return nil, err
+		}
+		return []float64{
+			float64(len(outOn.Result.Members())),
+			float64(len(outOff.Result.Members())),
+			outOn.Result.MeanDistance(),
+			outOff.Result.MeanDistance(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, nt := range sizes {
+		s := acc.Point(i)
+		t.AddRow(nt, s[0].Mean(), s[1].Mean(), s[2].Mean(), s[3].Mean())
 	}
 	t.Note("16 nodes (phones/PDAs/laptops, no access point) at 1.2x demand; %d seeds per row", reps)
 	t.Note("spread = load-balancing anti-policy: same distance band, prefers emptiest node")
@@ -212,7 +232,9 @@ func E4CoalitionSize(cfg Config) (*metrics.Table, error) {
 
 // E5HeuristicVsOptimal compares the Section 5 degradation heuristic
 // against exhaustive search over the same ladder as local resources get
-// scarcer. capacity = fraction x (demand of the preferred level).
+// scarcer. capacity = fraction x (demand of the preferred level). The
+// point grid is deterministic (no seeds); the runner still fans the
+// independent capacity fractions out across workers.
 func E5HeuristicVsOptimal(cfg Config) (*metrics.Table, error) {
 	t := metrics.NewTable("E5 degradation heuristic vs exhaustive optimum",
 		"capacity-frac", "paper-reward", "resource-aware-reward", "optimal-reward",
@@ -221,20 +243,20 @@ func E5HeuristicVsOptimal(cfg Config) (*metrics.Table, error) {
 	if cfg.Quick {
 		fracs = []float64{1.0, 0.6, 0.3}
 	}
-	spec := workload.VideoSpec()
-	req := workload.StreamingRequest("e5")
-	dm := workload.VideoDemand(1.0)
+	acc, err := sweep(cfg, 1, fracs, func(frac float64, rep Rep) ([]float64, error) {
+		spec := workload.VideoSpec()
+		req := workload.StreamingRequest("e5")
+		dm := workload.VideoDemand(1.0)
 
-	ladder, err := qos.BuildLadder(spec, &req, 3)
-	if err != nil {
-		return nil, err
-	}
-	preferred := ladder.Level(ladder.NewAssignment())
-	prefDemand, err := dm.Demand(spec, preferred)
-	if err != nil {
-		return nil, err
-	}
-	for _, frac := range fracs {
+		ladder, err := qos.BuildLadder(spec, &req, 3)
+		if err != nil {
+			return nil, err
+		}
+		preferred := ladder.Level(ladder.NewAssignment())
+		prefDemand, err := dm.Demand(spec, preferred)
+		if err != nil {
+			return nil, err
+		}
 		capacity := prefDemand.Scale(frac)
 		set := resource.NewSet(capacity)
 		h, herr := core.Formulate(spec, &req, dm, set.CanReserve, 3, nil)
@@ -242,12 +264,24 @@ func E5HeuristicVsOptimal(cfg Config) (*metrics.Table, error) {
 		o, oerr := core.FormulateExhaustive(spec, &req, dm, set.CanReserve, 3, nil, 1<<20)
 		switch {
 		case herr != nil && oerr != nil && raerr != nil:
-			t.AddRow(frac, "infeasible", "infeasible", "infeasible", "-", "-", "-")
+			return []float64{nan, nan, nan, nan, nan, nan}, nil
 		case herr != nil || oerr != nil || raerr != nil:
 			return nil, fmt.Errorf("xp: formulators disagree on feasibility at frac %g: %v / %v / %v", frac, herr, raerr, oerr)
 		default:
-			t.AddRow(frac, h.Reward, ra.Reward, o.Reward, h.Degradations, ra.Degradations, o.Degradations)
+			return []float64{h.Reward, ra.Reward, o.Reward,
+				float64(h.Degradations), float64(ra.Degradations), float64(o.Degradations)}, nil
 		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, frac := range fracs {
+		vec := acc.Get(i, 0)
+		if isNaN(vec[0]) {
+			t.AddRow(frac, "infeasible", "infeasible", "infeasible", "-", "-", "-")
+			continue
+		}
+		t.AddRow(frac, vec[0], vec[1], vec[2], int(vec[3]), int(vec[4]), int(vec[5]))
 	}
 	t.Note("video streaming request, grid 3; capacity scaled from the preferred level's demand")
 	t.Note("paper = S5 heuristic (min reward loss); resource-aware = extension scoring relief per reward lost")

@@ -21,39 +21,44 @@ func E11MobilityStress(cfg Config) (*metrics.Table, error) {
 		speeds = []float64{0, 5}
 	}
 	reps := repeats(cfg)
-	for _, speed := range speeds {
-		var acc, served, reconfs, fails metrics.Sample
-		for r := 0; r < reps; r++ {
-			scfg := workload.DefaultScenario(cfg.Seed + int64(r))
-			scfg.Nodes = 12
-			scfg.AreaM = 150 // wide area: movement genuinely breaks links
-			scfg.Mobile = speed > 0
-			scfg.MobileSpeed = speed
-			sc, err := workload.Build(scfg)
-			if err != nil {
-				return nil, err
-			}
-			svc := workload.StreamService("e11", 4, 1.0)
-			var first *core.Result
-			org, err := sc.Cluster.Submit(0, 0, svc, core.DefaultOrganizerConfig, func(res *core.Result) {
-				if first == nil {
-					first = res
-				}
-			})
-			if err != nil {
-				return nil, err
-			}
-			sc.Cluster.Run(60)
-			if first == nil {
-				return nil, fmt.Errorf("xp: e11 formation incomplete (speed %g seed %d)", speed, cfg.Seed+int64(r))
-			}
-			acc.Add(float64(len(first.Assigned)) / float64(len(svc.Tasks)))
-			served.Add(float64(len(org.Snapshot())) / float64(len(svc.Tasks)))
-			reconfs.Add(float64(org.Reconfigurations))
-			fails.Add(float64(org.Failures))
+	acc, err := sweep(cfg, reps, speeds, func(speed float64, rep Rep) ([]float64, error) {
+		scfg := workload.DefaultScenario(rep.Seed)
+		scfg.Nodes = 12
+		scfg.AreaM = 150 // wide area: movement genuinely breaks links
+		scfg.Mobile = speed > 0
+		scfg.MobileSpeed = speed
+		sc, err := workload.Build(scfg)
+		if err != nil {
+			return nil, err
 		}
-		t.AddRow(speed, metrics.Ratio(acc.Mean(), 1), metrics.Ratio(served.Mean(), 1),
-			reconfs.Mean(), fails.Mean())
+		svc := workload.StreamService("e11", 4, 1.0)
+		var first *core.Result
+		org, err := sc.Cluster.Submit(0, 0, svc, core.DefaultOrganizerConfig, func(res *core.Result) {
+			if first == nil {
+				first = res
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		sc.Cluster.Run(60)
+		if first == nil {
+			return nil, fmt.Errorf("xp: e11 formation incomplete (speed %g seed %d)", speed, rep.Seed)
+		}
+		return []float64{
+			float64(len(first.Assigned)) / float64(len(svc.Tasks)),
+			float64(len(org.Snapshot())) / float64(len(svc.Tasks)),
+			float64(org.Reconfigurations),
+			float64(org.Failures),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, speed := range speeds {
+		s := acc.Point(i)
+		t.AddRow(speed, metrics.Ratio(s[0].Mean(), 1), metrics.Ratio(s[1].Mean(), 1),
+			s[2].Mean(), s[3].Mean())
 	}
 	t.Note("12 nodes in a 150 m area, 4 tasks at 1.0x, monitored until t=60 s; %d seeds per row", reps)
 	t.Note("members leaving radio range are detected as failures and their tasks renegotiated")
@@ -71,26 +76,31 @@ func E12LossyRadio(cfg Config) (*metrics.Table, error) {
 		losses = []float64{0, 0.2}
 	}
 	reps := repeats(cfg)
-	for _, loss := range losses {
-		var acc, rounds, ft, drops metrics.Sample
-		for r := 0; r < reps; r++ {
-			scfg := workload.DefaultScenario(cfg.Seed + int64(r))
-			scfg.Radio.LossProb = loss
-			scfg.Provider.HeartbeatEvery = 0
-			ocfg := core.DefaultOrganizerConfig
-			ocfg.Monitor = false
-			ocfg.MaxRounds = 8
-			svc := workload.StreamService("e12", 4, 1.0)
-			out, err := runCoalition(scfg, svc, ocfg, 0)
-			if err != nil {
-				return nil, err
-			}
-			acc.Add(float64(len(out.Result.Assigned)) / float64(len(svc.Tasks)))
-			rounds.Add(float64(out.Result.Rounds))
-			ft.Add(out.Result.FormationTime)
-			drops.Add(float64(out.Stats.Drops))
+	acc, err := sweep(cfg, reps, losses, func(loss float64, rep Rep) ([]float64, error) {
+		scfg := workload.DefaultScenario(rep.Seed)
+		scfg.Radio.LossProb = loss
+		scfg.Provider.HeartbeatEvery = 0
+		ocfg := core.DefaultOrganizerConfig
+		ocfg.Monitor = false
+		ocfg.MaxRounds = 8
+		svc := workload.StreamService("e12", 4, 1.0)
+		out, err := runCoalition(scfg, svc, ocfg, 0)
+		if err != nil {
+			return nil, err
 		}
-		t.AddRow(loss, metrics.Ratio(acc.Mean(), 1), rounds.Mean(), ft.Mean(), drops.Mean())
+		return []float64{
+			float64(len(out.Result.Assigned)) / float64(len(svc.Tasks)),
+			float64(out.Result.Rounds),
+			out.Result.FormationTime,
+			float64(out.Stats.Drops),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, loss := range losses {
+		s := acc.Point(i)
+		t.AddRow(loss, metrics.Ratio(s[0].Mean(), 1), s[1].Mean(), s[2].Mean(), s[3].Mean())
 	}
 	t.Note("16 nodes, 4 tasks at 1.0x, up to 8 rounds, heartbeats off; %d seeds per row", reps)
 	return t, nil
@@ -108,26 +118,24 @@ func E13ConcurrentServices(cfg Config) (*metrics.Table, error) {
 		counts = []int{2}
 	}
 	reps := repeats(cfg)
-	for _, k := range counts {
-		var accNo, decNo, accHold, decHold metrics.Sample
-		for r := 0; r < reps; r++ {
-			seed := cfg.Seed + int64(r)
-			for _, hold := range []bool{false, true} {
-				acc, dec, err := concurrentRun(seed, k, hold)
-				if err != nil {
-					return nil, err
-				}
-				if hold {
-					accHold.Add(acc)
-					decHold.Add(dec)
-				} else {
-					accNo.Add(acc)
-					decNo.Add(dec)
-				}
-			}
+	acc, err := sweep(cfg, reps, counts, func(k int, rep Rep) ([]float64, error) {
+		accNo, decNo, err := concurrentRun(rep.Seed, k, false)
+		if err != nil {
+			return nil, err
 		}
-		t.AddRow(k, metrics.Ratio(accNo.Mean(), 1), decNo.Mean(),
-			metrics.Ratio(accHold.Mean(), 1), decHold.Mean())
+		accHold, decHold, err := concurrentRun(rep.Seed, k, true)
+		if err != nil {
+			return nil, err
+		}
+		return []float64{accNo, decNo, accHold, decHold}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, k := range counts {
+		s := acc.Point(i)
+		t.AddRow(k, metrics.Ratio(s[0].Mean(), 1), s[1].Mean(),
+			metrics.Ratio(s[2].Mean(), 1), s[3].Mean())
 	}
 	t.Note("16 nodes; k organizers each request 3 tasks at 1.2x simultaneously; %d seeds per row", reps)
 	t.Note("holds reserve proposal demand tentatively until award or timeout")

@@ -24,25 +24,26 @@ func E14EnergyDepletion(cfg Config) (*metrics.Table, error) {
 		rates = []float64{0, 15}
 	}
 	reps := repeats(cfg)
-	for _, rate := range rates {
-		var firstDeath, deaths, reconfs, served metrics.Sample
-		for r := 0; r < reps; r++ {
-			fd, d, rc, sv, err := energyRun(cfg.Seed+int64(r), rate)
-			if err != nil {
-				return nil, err
-			}
-			if fd >= 0 {
-				firstDeath.Add(fd)
-			}
-			deaths.Add(d)
-			reconfs.Add(rc)
-			served.Add(sv)
+	acc, err := sweep(cfg, reps, rates, func(rate float64, rep Rep) ([]float64, error) {
+		fd, d, rc, sv, err := energyRun(rep.Seed, rate)
+		if err != nil {
+			return nil, err
 		}
+		if fd < 0 {
+			fd = nan // no helper died in this replication
+		}
+		return []float64{fd, d, rc, sv}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, rate := range rates {
+		s := acc.Point(i)
 		fdCell := "-"
-		if firstDeath.N() > 0 {
-			fdCell = fmt.Sprintf("%.1f", firstDeath.Mean())
+		if s[0].N() > 0 {
+			fdCell = fmt.Sprintf("%.1f", s[0].Mean())
 		}
-		t.AddRow(rate, fdCell, deaths.Mean(), reconfs.Mean(), metrics.Ratio(served.Mean(), 1))
+		t.AddRow(rate, fdCell, s[1].Mean(), s[2].Mean(), metrics.Ratio(s[3].Mean(), 1))
 	}
 	t.Note("8 nodes: battery-powered phones/PDAs/laptops + 1 mains access point; 3 tasks at 1.2x; %d seeds per row", reps)
 	t.Note("drain in energy units per second; laptops carry 4000 units, phones 400")
@@ -61,20 +62,19 @@ func E15QualityUpgrade(cfg Config) (*metrics.Table, error) {
 		arrivals = []int{0, 2}
 	}
 	reps := repeats(cfg)
-	for _, k := range arrivals {
-		var db, da, up, ub, ua metrics.Sample
-		for r := 0; r < reps; r++ {
-			before, after, upgrades, utilB, utilA, err := upgradeRun(cfg.Seed+int64(r), k)
-			if err != nil {
-				return nil, err
-			}
-			db.Add(before)
-			da.Add(after)
-			up.Add(upgrades)
-			ub.Add(utilB)
-			ua.Add(utilA)
+	acc, err := sweep(cfg, reps, arrivals, func(k int, rep Rep) ([]float64, error) {
+		before, after, upgrades, utilB, utilA, err := upgradeRun(rep.Seed, k)
+		if err != nil {
+			return nil, err
 		}
-		t.AddRow(k, db.Mean(), da.Mean(), up.Mean(), ub.Mean(), ua.Mean())
+		return []float64{before, after, upgrades, utilB, utilA}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, k := range arrivals {
+		s := acc.Point(i)
+		t.AddRow(k, s[0].Mean(), s[1].Mean(), s[2].Mean(), s[3].Mean(), s[4].Mean())
 	}
 	t.Note("4 phones form a degraded 2-task coalition; k laptops arrive at t=10, TryImprove at t=12; %d seeds per row", reps)
 	t.Note("TryImprove is an extension realizing the paper's run-time adaptation sketch (DESIGN.md)")

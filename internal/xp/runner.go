@@ -1,0 +1,108 @@
+package xp
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// nan marks "no observation" in a replication's metric vector; the
+// Accumulator skips NaN elements when building Samples.
+var nan = math.NaN()
+
+func isNaN(x float64) bool { return math.IsNaN(x) }
+
+// Runner executes independent jobs across a bounded worker pool.
+// Workers is the pool width; values <= 1 run jobs sequentially on the
+// calling goroutine. Jobs must not share mutable state: the sweep layer
+// above hands each replication its own seed and rand.Rand, which is
+// what makes results independent of the pool width.
+type Runner struct {
+	Workers int
+}
+
+// Do runs job(0) .. job(n-1), each exactly once, and returns the
+// lowest-index error (nil if every job succeeded). The parallel path
+// runs every job even after a failure so that the returned error does
+// not depend on scheduling; the sequential path can stop at the first
+// error because index order and execution order coincide.
+func (r Runner) Do(n int, job func(i int) error) error {
+	workers := r.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = job(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rep identifies one replication of a sweep point and carries its
+// private deterministic random source. Replication r always uses
+// Seed = cfg.Seed + r, so any experiment body that derives all of its
+// randomness from Rep produces the same numbers at any parallelism.
+type Rep struct {
+	// Index is the replication index within the sweep point (0-based).
+	Index int
+	// Seed is cfg.Seed + Index.
+	Seed int64
+	// Rng is seeded with Seed and owned exclusively by this
+	// replication; bodies may consume it freely.
+	Rng *rand.Rand
+}
+
+// sweep is the shared declaration of every experiment's measurement
+// grid: a list of sweep points crossed with reps replications per
+// point. body runs once per (point, replication) pair — fanned out
+// across cfg.Parallel workers — and returns one metric vector, which
+// lands in a fixed (point, rep) slot of the returned Accumulator.
+// Aggregation happens after the fan-in, in slot order, so tables built
+// from the result are bit-identical at any parallelism level. Use NaN
+// elements for "no observation in this replication".
+func sweep[P any](cfg Config, reps int, points []P, body func(p P, rep Rep) ([]float64, error)) (*metrics.Accumulator, error) {
+	acc := metrics.NewAccumulator(len(points), reps)
+	n := len(points) * reps
+	err := Runner{Workers: cfg.Parallel}.Do(n, func(i int) error {
+		pi, ri := i/reps, i%reps
+		seed := cfg.Seed + int64(ri)
+		vec, err := body(points[pi], Rep{Index: ri, Seed: seed, Rng: newRng(seed)})
+		if err != nil {
+			return err
+		}
+		acc.Put(pi, ri, vec)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return acc, nil
+}

@@ -1,9 +1,10 @@
 // Package xp defines the experiment suite of this reproduction. The
 // paper (a model/architecture paper) publishes no tables or figures; each
 // experiment here operationalizes one of its qualitative claims (see
-// DESIGN.md Section 4 and EXPERIMENTS.md) into a reproducible table.
-// cmd/qosbench prints these tables; the root bench_test.go wraps each in
-// a testing.B benchmark.
+// EXPERIMENTS.md for the catalog and DESIGN.md for the module map) into
+// a reproducible table. Experiments declare their sweeps against the
+// parallel runner in runner.go; cmd/qosbench prints the tables and the
+// root bench_test.go wraps each in a testing.B benchmark.
 package xp
 
 import (
@@ -28,6 +29,12 @@ type Config struct {
 	Repeats int
 	// Quick shrinks sweeps for use inside testing.B loops.
 	Quick bool
+	// Parallel is the worker-pool width the sweep runner fans
+	// replications and sweep points out over; <= 1 runs sequentially.
+	// Tables are bit-identical at every width: each replication owns a
+	// rand.Rand seeded with Seed+r and aggregation happens in
+	// replication order after the fan-in.
+	Parallel int
 }
 
 // DefaultConfig is used by cmd/qosbench.
