@@ -18,7 +18,7 @@
 //   - internal/live      — the same protocol over goroutines + channels;
 //   - internal/baseline, internal/workload, internal/metrics,
 //     internal/xp — baselines, synthetic workloads and the experiment
-//     suite (E1–E15, run by a parallel sweep engine; see EXPERIMENTS.md).
+//     suite (E1–E16, run by a parallel sweep engine; see EXPERIMENTS.md).
 //
 // Entry points: cmd/qosim (single scenario), cmd/qosbench (experiment
 // tables), cmd/qosspec (spec tooling); examples/ holds four runnable

@@ -8,9 +8,14 @@
 //     wins, ignoring the Section 6 distance.
 //   - Greedy: first-fit — the first node able to serve a task gets it,
 //     ignoring quality comparison across proposals.
-//   - Optimal: exhaustive assignment minimizing total distance (with the
-//     same resource feasibility), tractable only for small populations;
-//     used to measure the protocol's optimality gap.
+//   - Optimal: the argmin assignment minimizing (unserved, total
+//     distance, members) under the same resource feasibility, found by
+//     depth-first branch-and-bound with admissible per-task distance
+//     bounds; used to measure the protocol's optimality gap.
+//   - OptimalExhaustive: the plain cross-product enumerator Optimal
+//     replaced — kept as the oracle the branch-and-bound is asserted
+//     against on small instances, and as the tractability strawman of
+//     experiment E16.
 //
 // Baselines run offline against a snapshot of node resources: they answer
 // "who would serve what, at which level" without exchanging messages.
@@ -66,6 +71,30 @@ type Allocation struct {
 
 // Complete reports whether every task was served.
 func (a *Allocation) Complete() bool { return len(a.Unserved) == 0 }
+
+// Equal reports whether two allocations are identical: same assignment
+// order, same task->node placements with bit-equal distances and
+// rewards, same unserved list. It is the single definition of
+// "identical allocation" shared by the branch-and-bound oracle test
+// and experiment E16's enum-agrees column.
+func (a *Allocation) Equal(b *Allocation) bool {
+	if len(a.Assigned) != len(b.Assigned) || len(a.Unserved) != len(b.Unserved) {
+		return false
+	}
+	for i := range a.Assigned {
+		x, y := a.Assigned[i], b.Assigned[i]
+		if x.TaskID != y.TaskID || x.Node != y.Node || x.Distance != y.Distance ||
+			x.Reward != y.Reward || !x.Level.Equal(y.Level) {
+			return false
+		}
+	}
+	for i := range a.Unserved {
+		if a.Unserved[i] != b.Unserved[i] {
+			return false
+		}
+	}
+	return true
+}
 
 // MeanDistance averages the evaluation value over served tasks.
 func (a *Allocation) MeanDistance() float64 {
@@ -240,21 +269,276 @@ func (Greedy) Allocate(p *Problem) (*Allocation, error) {
 	return out, nil
 }
 
-// Optimal enumerates all task->node assignments, serving each assigned
-// task at the node's heuristically formulated level, and returns the
-// feasible assignment minimizing (unserved count, total distance, member
-// count). Exponential in tasks: len(Nodes)^len(Tasks) combinations, so it
-// guards against misuse.
+// Optimal finds the feasible task->node assignment minimizing
+// (unserved count, total distance, member count), serving each assigned
+// task at the node's heuristically formulated level. Where the old
+// cross-product enumerator (kept as OptimalExhaustive) re-formulated
+// every task at every one of (len(Nodes)+1)^len(Tasks) leaves, Optimal
+// runs a depth-first branch-and-bound: tasks are compiled once,
+// formulations happen incrementally along the search tree with exact
+// backtracking, and subtrees that provably cannot beat the incumbent
+// are pruned using admissible per-task distance lower bounds (the
+// minimum evaluation over the task's availability-independent
+// degradation path).
+//
+// Children are explored in the enumerator's order and the incumbent
+// only improves on a strictly smaller key, so the returned argmin is
+// identical to OptimalExhaustive's (asserted by TestOptimalMatchesExhaustive);
+// a best-first child order would be faster on some instances but could
+// return a different tie, breaking that oracle.
 type Optimal struct {
-	// MaxCombinations bounds the search (default 1e6).
+	// MaxNodes bounds the number of explored search-tree edges
+	// (default 1e6) — the effort guard replacing the enumerator's
+	// search-space precheck, since the whole point of pruning is that
+	// the explored tree is vastly smaller than the cross-product.
+	MaxNodes int64
+}
+
+// Name implements Allocator.
+func (Optimal) Name() string { return "optimal-bnb" }
+
+// bnbNode is the branch-and-bound's exact replica of one node's scratch
+// resource state. It performs the same admission comparisons as
+// resource.Bucket/Set (CanReserve: available < demand; Reserve:
+// reserved+demand > capacity, per kind) and accumulates per-kind
+// reservations in task order, so any search prefix sees bit-identical
+// availability to the enumerator's fresh per-leaf scratch sets — but
+// backtracking restores a saved copy of the reserved vector instead of
+// subtracting, which a float ledger could not do exactly.
+type bnbNode struct {
+	cap      resource.Vector
+	reserved resource.Vector
+}
+
+func (n *bnbNode) canReserve(d resource.Vector) bool {
+	for i := range d {
+		if d[i] > 0 && n.cap[i]-n.reserved[i] < d[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// reserve admits d all-or-nothing, mirroring resource.Set.Reserve's
+// checks; the caller restores the previous reserved vector to backtrack.
+func (n *bnbNode) reserve(d resource.Vector) bool {
+	if !d.Nonnegative() {
+		return false
+	}
+	for i := range d {
+		if d[i] > 0 && n.reserved[i]+d[i] > n.cap[i] {
+			return false
+		}
+	}
+	for i := range d {
+		n.reserved[i] += d[i]
+	}
+	return true
+}
+
+// bnbSearch carries the depth-first state.
+type bnbSearch struct {
+	p      *Problem
+	cps    []*core.CompiledProblem // nil = task cannot be compiled, never servable
+	lbs    []float64               // admissible per-task distance lower bounds
+	nodes  []bnbNode
+	assign []int
+	usage  []int // tasks currently placed per node
+
+	unserved int
+	dist     float64
+	members  int
+
+	best     []int
+	bestKey  [3]float64
+	explored int64
+	maxNodes int64
+}
+
+// Allocate implements Allocator.
+func (o Optimal) Allocate(p *Problem) (*Allocation, error) {
+	a, _, err := o.AllocateCounted(p)
+	return a, err
+}
+
+// AllocateCounted is Allocate plus the number of explored search-tree
+// edges — experiment E16 reports it against the enumerator's
+// cross-product size to show how much the bounds prune.
+func (o Optimal) AllocateCounted(p *Problem) (*Allocation, int64, error) {
+	nT := len(p.Service.Tasks)
+	nN := len(p.Nodes)
+	evals := make([]*qos.Evaluator, nT)
+	for i, t := range p.Service.Tasks {
+		e, err := evaluatorFor(p, t)
+		if err != nil {
+			return nil, 0, err
+		}
+		evals[i] = e
+	}
+	s := &bnbSearch{
+		p:        p,
+		cps:      make([]*core.CompiledProblem, nT),
+		lbs:      make([]float64, nT),
+		nodes:    make([]bnbNode, nN),
+		assign:   make([]int, nT),
+		usage:    make([]int, nN),
+		bestKey:  [3]float64{math.Inf(1), math.Inf(1), math.Inf(1)},
+		maxNodes: o.MaxNodes,
+	}
+	if s.maxNodes == 0 {
+		s.maxNodes = 1_000_000
+	}
+	for i, t := range p.Service.Tasks {
+		// A task whose problem does not compile is exactly as servable
+		// as one whose formulation fails on every node: not at all. The
+		// enumerator treats both as infeasible branches, not errors.
+		if cp, err := core.CompileProblem(p.Service.Spec, &t.Request, t.Demand, p.GridSteps, p.Penalty); err == nil {
+			s.cps[i] = cp
+		}
+	}
+	for i, n := range p.Nodes {
+		s.nodes[i] = bnbNode{cap: n.Res.Available()}
+	}
+	for i := range s.lbs {
+		s.lbs[i] = taskDistanceLB(s.cps[i])
+	}
+	if err := s.search(0); err != nil {
+		return nil, 0, err
+	}
+	if s.best == nil {
+		return &Allocation{Unserved: taskIDs(p)}, s.explored, nil
+	}
+	a, err := materialize(p, evals, s.best)
+	return a, s.explored, err
+}
+
+// taskDistanceLB is the admissible per-task bound: the minimum Section 6
+// evaluation over the dependency-consistent stops of the degradation
+// path. Formulate returns some such stop regardless of the node's
+// availability, so no branch can serve the task at a smaller distance.
+// +Inf (no compiled problem, or no consistent stop) means the task can
+// never be served — which prunes exactly the completions that would try.
+func taskDistanceLB(cp *core.CompiledProblem) float64 {
+	lb := math.Inf(1)
+	if cp == nil {
+		return lb
+	}
+	cp.WalkDegradationPath(func(a qos.Assignment) {
+		if ok, _ := cp.C.DepsSatisfied(a); ok {
+			if d := cp.C.Distance(a); d < lb {
+				lb = d
+			}
+		}
+	})
+	return lb
+}
+
+// search explores task ti's choices in enumerator order, pruning
+// subtrees whose lexicographic lower bound cannot strictly beat the
+// incumbent. Every completion of the current prefix has key[0] >=
+// unserved; among those with key[0] == unserved (all remaining tasks
+// served) the distance is >= bound and the member count is >= members.
+// Completions with more unserved tasks lose on key[0] whenever the
+// prefix already ties the incumbent, so the three checks below never
+// cut a strictly-better leaf.
+//
+// bound is computed as the left-fold of the per-task lower bounds in
+// task order, starting from the prefix distance — the same summation
+// shape a leaf uses for its actual distances. Float addition is
+// monotone non-decreasing in each argument and lbs[j] <= d_j bitwise
+// (the bound is the min over the stops Formulate can return), so by
+// induction the folded bound never exceeds any completion's folded
+// distance: admissible down to the last ulp, with no epsilon slack to
+// blunt the exact-tie member prune that symmetric instances rely on.
+func (s *bnbSearch) search(ti int) error {
+	nT := len(s.p.Service.Tasks)
+	if ti == nT {
+		key := [3]float64{float64(s.unserved), s.dist, float64(s.members)}
+		if lessKey(key, s.bestKey) {
+			s.bestKey = key
+			s.best = append(s.best[:0], s.assign...)
+		}
+		return nil
+	}
+	if float64(s.unserved) > s.bestKey[0] {
+		return nil
+	}
+	if float64(s.unserved) == s.bestKey[0] {
+		bound := s.dist
+		for j := ti; j < nT; j++ {
+			bound += s.lbs[j]
+		}
+		if bound > s.bestKey[1] {
+			return nil
+		}
+		if bound == s.bestKey[1] && float64(s.members) >= s.bestKey[2] {
+			return nil
+		}
+	}
+	nN := len(s.p.Nodes)
+	for choice := 0; choice <= nN; choice++ {
+		s.explored++
+		if s.explored > s.maxNodes {
+			return fmt.Errorf("baseline: optimal search explored more than %d nodes", s.maxNodes)
+		}
+		s.assign[ti] = choice
+		if choice == nN { // leave the task unserved
+			s.unserved++
+			if err := s.search(ti + 1); err != nil {
+				return err
+			}
+			s.unserved--
+			continue
+		}
+		cp := s.cps[ti]
+		if cp == nil {
+			continue
+		}
+		node := &s.nodes[choice]
+		f, err := cp.Formulate(node.canReserve)
+		if err != nil {
+			continue // not servable here under the current prefix
+		}
+		saved := node.reserved
+		if !node.reserve(f.Demand) {
+			continue
+		}
+		prevDist := s.dist
+		s.dist = prevDist + cp.C.Distance(f.Assignment)
+		s.usage[choice]++
+		if s.usage[choice] == 1 {
+			s.members++
+		}
+		err = s.search(ti + 1)
+		s.usage[choice]--
+		if s.usage[choice] == 0 {
+			s.members--
+		}
+		s.dist = prevDist
+		node.reserved = saved
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OptimalExhaustive is the cross-product enumerator Optimal replaced:
+// it scores every complete task->node assignment by re-formulating all
+// tasks against fresh scratch resources. Exponential in tasks —
+// (len(Nodes)+1)^len(Tasks) leaves — so it refuses search spaces above
+// MaxCombinations; it survives as the oracle for Optimal's argmin and
+// as experiment E16's tractability strawman.
+type OptimalExhaustive struct {
+	// MaxCombinations bounds the search space (default 1e6).
 	MaxCombinations int64
 }
 
 // Name implements Allocator.
-func (Optimal) Name() string { return "optimal-exhaustive" }
+func (OptimalExhaustive) Name() string { return "optimal-exhaustive" }
 
 // Allocate implements Allocator.
-func (o Optimal) Allocate(p *Problem) (*Allocation, error) {
+func (o OptimalExhaustive) Allocate(p *Problem) (*Allocation, error) {
 	maxC := o.MaxCombinations
 	if maxC == 0 {
 		maxC = 1_000_000
@@ -276,6 +560,16 @@ func (o Optimal) Allocate(p *Problem) (*Allocation, error) {
 		}
 		evals[i] = e
 	}
+	// Compile each task once; re-running BuildLadder + table compilation
+	// at every one of the (nN+1)^nT leaves would make the enumerator an
+	// unfairly slow strawman. A task that fails to compile is unservable
+	// on every node, exactly like a task whose formulation always fails.
+	cps := make([]*core.CompiledProblem, nT)
+	for i, t := range p.Service.Tasks {
+		if cp, err := core.CompileProblem(p.Service.Spec, &t.Request, t.Demand, p.GridSteps, p.Penalty); err == nil {
+			cps[i] = cp
+		}
+	}
 
 	assign := make([]int, nT) // node index per task; nN == unserved
 	var best []int
@@ -284,7 +578,7 @@ func (o Optimal) Allocate(p *Problem) (*Allocation, error) {
 	var recurse func(ti int) error
 	recurse = func(ti int) error {
 		if ti == nT {
-			key, ok, err := o.scoreAssign(p, evals, assign)
+			key, ok, err := o.scoreAssign(p, evals, cps, assign)
 			if err != nil {
 				return err
 			}
@@ -308,7 +602,7 @@ func (o Optimal) Allocate(p *Problem) (*Allocation, error) {
 	if best == nil {
 		return &Allocation{Unserved: taskIDs(p)}, nil
 	}
-	return o.materialize(p, evals, best)
+	return materialize(p, evals, best)
 }
 
 func lessKey(a, b [3]float64) bool {
@@ -323,8 +617,7 @@ func lessKey(a, b [3]float64) bool {
 // scoreAssign tests feasibility of one complete assignment by actually
 // reserving on scratch copies, returning (unserved, totalDistance,
 // members).
-func (o Optimal) scoreAssign(p *Problem, evals []*qos.Evaluator, assign []int) ([3]float64, bool, error) {
-	type res struct{ d float64 }
+func (o OptimalExhaustive) scoreAssign(p *Problem, evals []*qos.Evaluator, cps []*core.CompiledProblem, assign []int) ([3]float64, bool, error) {
 	scratch := make([]*resource.Set, len(p.Nodes))
 	for i, n := range p.Nodes {
 		scratch[i] = resource.NewSet(n.Res.Available())
@@ -338,7 +631,10 @@ func (o Optimal) scoreAssign(p *Problem, evals []*qos.Evaluator, assign []int) (
 			unserved++
 			continue
 		}
-		f, err := core.Formulate(p.Service.Spec, &t.Request, t.Demand, scratch[choice].CanReserve, p.GridSteps, p.Penalty)
+		if cps[ti] == nil {
+			return [3]float64{}, false, nil // task cannot be served anywhere
+		}
+		f, err := cps[ti].Formulate(scratch[choice].CanReserve)
 		if err != nil {
 			return [3]float64{}, false, nil // infeasible branch
 		}
@@ -353,12 +649,11 @@ func (o Optimal) scoreAssign(p *Problem, evals []*qos.Evaluator, assign []int) (
 		total += d
 		members[choice] = true
 	}
-	_ = res{}
 	return [3]float64{float64(unserved), total, float64(len(members))}, true, nil
 }
 
 // materialize re-runs the winning assignment against the real node sets.
-func (o Optimal) materialize(p *Problem, evals []*qos.Evaluator, assign []int) (*Allocation, error) {
+func materialize(p *Problem, evals []*qos.Evaluator, assign []int) (*Allocation, error) {
 	out := &Allocation{}
 	for ti, t := range p.Service.Tasks {
 		choice := assign[ti]

@@ -121,8 +121,65 @@ func TestOptimalBeatsOrMatchesGreedy(t *testing.T) {
 
 func TestOptimalBoundsSearchSpace(t *testing.T) {
 	p := problemWith(8, 1, phoneCap(), phoneCap(), phoneCap(), phoneCap(), phoneCap(), phoneCap())
-	if _, err := (Optimal{MaxCombinations: 100}).Allocate(p); err == nil {
-		t.Error("search bound not enforced")
+	if _, err := (Optimal{MaxNodes: 5}).Allocate(p); err == nil {
+		t.Error("branch-and-bound effort bound not enforced")
+	}
+	if _, err := (OptimalExhaustive{MaxCombinations: 100}).Allocate(p); err == nil {
+		t.Error("enumerator search-space bound not enforced")
+	}
+}
+
+// TestOptimalMatchesExhaustive is the argmin oracle: on every instance
+// the enumerator can afford, branch-and-bound must return the identical
+// allocation — same task->node map, bitwise-same distances, same
+// unserved set — because it explores children in the enumerator's order
+// and only prunes provably-not-strictly-better subtrees.
+func TestOptimalMatchesExhaustive(t *testing.T) {
+	capsPool := []resource.Vector{phoneCap(), laptopCap(), apCap()}
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var caps []resource.Vector
+		for n := 2 + rng.Intn(3); n > 0; n-- {
+			caps = append(caps, capsPool[rng.Intn(len(capsPool))])
+		}
+		nTasks := 1 + rng.Intn(3)
+		scale := []float64{0.5, 1, 2, 4}[rng.Intn(4)]
+		pb := problemWith(nTasks, scale, caps...)
+		pe := problemWith(nTasks, scale, caps...)
+		got, err := Optimal{}.Allocate(pb)
+		if err != nil {
+			t.Fatalf("seed %d: bnb: %v", seed, err)
+		}
+		want, err := OptimalExhaustive{}.Allocate(pe)
+		if err != nil {
+			t.Fatalf("seed %d: exhaustive: %v", seed, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("seed %d: allocations differ:\nbnb:  %+v\nenum: %+v", seed, got, want)
+		}
+	}
+}
+
+// TestOptimalHandlesEnumeratorIntractable: branch-and-bound solves an
+// instance whose cross-product the enumerator refuses to even start.
+func TestOptimalHandlesEnumeratorIntractable(t *testing.T) {
+	var caps []resource.Vector
+	for i := 0; i < 15; i++ {
+		caps = append(caps, phoneCap(), laptopCap())
+	}
+	p := problemWith(4, 1.0, caps...) // 31^4 ≈ 9.2e5 > 1e4
+	if _, err := (OptimalExhaustive{MaxCombinations: 10_000}).Allocate(p); err == nil {
+		t.Fatal("enumerator accepted an intractable search space")
+	}
+	a, explored, err := Optimal{}.AllocateCounted(problemWith(4, 1.0, caps...))
+	if err != nil {
+		t.Fatalf("bnb failed on the same instance: %v", err)
+	}
+	if !a.Complete() {
+		t.Errorf("30 strong nodes must serve 4 tasks: %+v", a)
+	}
+	if explored <= 0 || explored > 10_000 {
+		t.Errorf("explored %d search edges; pruning should keep this far under the 9.2e5 cross-product", explored)
 	}
 }
 
@@ -198,7 +255,7 @@ func TestSnapshotProblem(t *testing.T) {
 		t.Error("snapshot aliases live resources")
 	}
 	// Names are stable identifiers used in tables.
-	for _, al := range []Allocator{LocalOnly{}, Random{}, Greedy{}, Optimal{}} {
+	for _, al := range []Allocator{LocalOnly{}, Random{}, Greedy{}, Optimal{}, OptimalExhaustive{}} {
 		if al.Name() == "" {
 			t.Error("empty allocator name")
 		}

@@ -1,0 +1,57 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/resource"
+)
+
+// benchProblem builds a mixed-strength allocation instance. Allocate
+// reserves on the problem's node snapshots, so benchmarks rebuild the
+// problem every iteration (construction is cheap next to the search).
+func benchProblem(tasks, nodes int, scale float64) *Problem {
+	caps := make([]resource.Vector, nodes)
+	for i := range caps {
+		if i%2 == 0 {
+			caps[i] = phoneCap()
+		} else {
+			caps[i] = laptopCap()
+		}
+	}
+	return problemWith(tasks, scale, caps...)
+}
+
+// BenchmarkOptimal measures the branch-and-bound argmin on an instance
+// the enumerator can still afford (7^3 = 343 leaves), for a direct
+// ns/op comparison with BenchmarkOptimalExhaustive.
+func BenchmarkOptimal(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := (Optimal{}).Allocate(benchProblem(3, 6, 1.5)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimalExhaustive measures the cross-product enumerator on
+// the identical instance.
+func BenchmarkOptimalExhaustive(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := (OptimalExhaustive{}).Allocate(benchProblem(3, 6, 1.5)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimalLarge runs branch-and-bound where the enumerator
+// cannot go at all: 4 tasks over 24 nodes is a 25^4 ≈ 3.9e5-leaf
+// cross-product of full re-formulations.
+func BenchmarkOptimalLarge(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := (Optimal{}).Allocate(benchProblem(4, 24, 1.5)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

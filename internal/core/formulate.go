@@ -36,6 +36,72 @@ type Formulation struct {
 // the node; typically (*resource.Set).CanReserve.
 type AvailFunc func(resource.Vector) bool
 
+// CompiledProblem is one (spec, request, demand model, gridSteps,
+// penalty) formulation instance with every per-request invariant
+// precomputed: the degradation ladder, the slot-indexed reward/distance
+// and dependency tables (qos.Compiled), and — when the demand model
+// supports the slot-delta fast path — the per-slot demand decomposition.
+// Compile once, formulate many times: providers cache these per CFP
+// demand reference, and the branch-and-bound baseline formulates the
+// same task against many nodes without re-deriving anything.
+type CompiledProblem struct {
+	Spec   *qos.Spec
+	Req    *qos.Request
+	Ladder *qos.Ladder
+	// C evaluates reward, distance and dependencies on assignments.
+	C *qos.Compiled
+
+	dm task.DemandModel
+	// table is the slot-indexed demand decomposition, nil when dm does
+	// not support (or declined) compilation; the fallback materializes a
+	// Level per iteration exactly like the pre-compiled implementation.
+	table *task.DemandTable
+}
+
+// CompileProblem builds the compiled formulation instance. gridSteps
+// and penalty follow the Formulate conventions (<=0 and nil select the
+// defaults).
+func CompileProblem(spec *qos.Spec, req *qos.Request, dm task.DemandModel, gridSteps int, penalty qos.PenaltyFunc) (*CompiledProblem, error) {
+	ladder, err := qos.BuildLadder(spec, req, gridSteps)
+	if err != nil {
+		return nil, err
+	}
+	ev := &qos.Evaluator{Spec: spec, Req: req}
+	c, err := ev.Compile(ladder, penalty)
+	if err != nil {
+		return nil, err
+	}
+	cp := &CompiledProblem{Spec: spec, Req: req, Ladder: ladder, C: c, dm: dm}
+	if sd, ok := dm.(task.SlotDemandModel); ok {
+		if tbl, terr := sd.CompileDemand(spec, ladder); terr == nil {
+			cp.table = tbl
+		}
+	}
+	return cp, nil
+}
+
+// demand evaluates the current assignment's demand: slot-indexed when
+// compiled, level-by-level otherwise.
+func (cp *CompiledProblem) demand(a qos.Assignment) (resource.Vector, error) {
+	if cp.table != nil {
+		return cp.table.Demand(a), nil
+	}
+	return cp.dm.Demand(cp.Spec, cp.Ladder.Level(a))
+}
+
+// finish packages the accepted assignment as a Formulation, paying the
+// single Level materialization of the whole formulate call.
+func (cp *CompiledProblem) finish(a qos.Assignment, demand resource.Vector, degradations int) *Formulation {
+	return &Formulation{
+		Level:        cp.Ladder.Level(a),
+		Assignment:   a,
+		Ladder:       cp.Ladder,
+		Reward:       cp.C.Reward(a),
+		Demand:       demand,
+		Degradations: degradations,
+	}
+}
+
 // Formulate runs the Section 5 heuristic, inspired by the local QoS
 // optimization of Abdelzaher et al.:
 //
@@ -47,38 +113,26 @@ type AvailFunc func(resource.Vector) bool
 //  3. stop when the level is schedulable (and dependency-consistent) or
 //     no attribute can degrade further.
 //
-// gridSteps controls the discretization of continuous accepted spans
-// (see qos.BuildLadder); penalty defaults to qos.DefaultPenalty.
-func Formulate(spec *qos.Spec, req *qos.Request, dm task.DemandModel, avail AvailFunc, gridSteps int, penalty qos.PenaltyFunc) (*Formulation, error) {
-	ladder, err := qos.BuildLadder(spec, req, gridSteps)
-	if err != nil {
-		return nil, err
-	}
-	if penalty == nil {
-		penalty = qos.DefaultPenalty
-	}
-	a := ladder.NewAssignment()
+// Each step re-evaluates demand on the compiled slot table (a few
+// vector adds in canonical key order — bit-identical to the model's
+// level-by-level answer, see task.DemandTable) and runs reward and
+// dependency checks on the slot-indexed tables, so the loop performs
+// no map operations and no allocations.
+func (cp *CompiledProblem) Formulate(avail AvailFunc) (*Formulation, error) {
+	a := cp.Ladder.NewAssignment()
 	degradations := 0
 	for {
-		level := ladder.Level(a)
-		demand, derr := dm.Demand(spec, level)
+		demand, derr := cp.demand(a)
 		if derr != nil {
 			return nil, derr
 		}
-		depsOK, _ := spec.DepsSatisfied(level)
+		depsOK, _ := cp.C.DepsSatisfied(a)
 		if depsOK && avail(demand) {
-			return &Formulation{
-				Level:        level,
-				Assignment:   a,
-				Ladder:       ladder,
-				Reward:       qos.Reward(ladder, a, penalty),
-				Demand:       demand,
-				Degradations: degradations,
-			}, nil
+			return cp.finish(a, demand, degradations), nil
 		}
-		i, ok := cheapestDegradation(ladder, a, penalty)
+		i, ok := cp.cheapestDegradation(a)
 		if !ok {
-			return nil, fmt.Errorf("%w (request %q after %d degradations)", ErrNoFeasibleLevel, req.Service, degradations)
+			return nil, fmt.Errorf("%w (request %q after %d degradations)", ErrNoFeasibleLevel, cp.Req.Service, degradations)
 		}
 		a[i]++
 		degradations++
@@ -90,22 +144,53 @@ func Formulate(spec *qos.Spec, req *qos.Request, dm task.DemandModel, avail Avai
 // is minimum", applied per attribute within one task's level). Ties break
 // toward the least important attribute (highest ladder position), so that
 // important dimensions keep their quality longest.
-func cheapestDegradation(ld *qos.Ladder, a qos.Assignment, penalty qos.PenaltyFunc) (int, bool) {
+func (cp *CompiledProblem) cheapestDegradation(a qos.Assignment) (int, bool) {
 	best := -1
 	var bestCost float64
-	for i := range ld.Attrs {
-		if !ld.CanDegrade(a, i) {
+	for i := range cp.C.Slots {
+		if !cp.Ladder.CanDegrade(a, i) {
 			continue
 		}
-		la := &ld.Attrs[i]
-		steps := len(la.Choices)
-		w := la.Weight()
-		cost := penalty(a[i]+1, steps, w) - penalty(a[i], steps, w)
+		cost := cp.C.DegradeCost(a, i)
 		if best == -1 || cost < bestCost || (cost == bestCost && i > best) {
 			best, bestCost = i, cost
 		}
 	}
 	return best, best != -1
+}
+
+// WalkDegradationPath visits every assignment on the Section 5
+// degradation path, from the all-preferred start to exhaustion. The
+// path is availability-independent — which attribute degrades next
+// depends only on the reward table — so resources merely pick the
+// stopping point. Formulate always returns some stop of this path,
+// which is what makes path-derived distance bounds admissible for the
+// branch-and-bound baseline. The visited assignment is reused; treat it
+// as read-only and do not retain it.
+func (cp *CompiledProblem) WalkDegradationPath(visit func(a qos.Assignment)) {
+	a := cp.Ladder.NewAssignment()
+	for {
+		visit(a)
+		i, ok := cp.cheapestDegradation(a)
+		if !ok {
+			return
+		}
+		a[i]++
+	}
+}
+
+// Formulate is the one-shot convenience wrapper: compile, then run the
+// heuristic. Hot paths (providers answering CFPs, baselines probing
+// many nodes) should CompileProblem once and reuse it.
+//
+// gridSteps controls the discretization of continuous accepted spans
+// (see qos.BuildLadder); penalty defaults to qos.DefaultPenalty.
+func Formulate(spec *qos.Spec, req *qos.Request, dm task.DemandModel, avail AvailFunc, gridSteps int, penalty qos.PenaltyFunc) (*Formulation, error) {
+	cp, err := CompileProblem(spec, req, dm, gridSteps, penalty)
+	if err != nil {
+		return nil, err
+	}
+	return cp.Formulate(avail)
 }
 
 // FormulateResourceAware is an extension of the Section 5 heuristic that
@@ -116,46 +201,29 @@ func cheapestDegradation(ld *qos.Ladder, a qos.Assignment, penalty qos.PenaltyFu
 // reward-loss per unit of relieved bottleneck demand and applies the best
 // ratio. It is not part of the paper; experiment E5 quantifies the gap it
 // closes (see DESIGN.md "extensions").
-func FormulateResourceAware(spec *qos.Spec, req *qos.Request, dm task.DemandModel, avail AvailFunc, gridSteps int, penalty qos.PenaltyFunc) (*Formulation, error) {
-	ladder, err := qos.BuildLadder(spec, req, gridSteps)
-	if err != nil {
-		return nil, err
-	}
-	if penalty == nil {
-		penalty = qos.DefaultPenalty
-	}
-	a := ladder.NewAssignment()
+func (cp *CompiledProblem) FormulateResourceAware(avail AvailFunc) (*Formulation, error) {
+	a := cp.Ladder.NewAssignment()
+	trial := cp.Ladder.NewAssignment()
 	degradations := 0
 	for {
-		level := ladder.Level(a)
-		demand, derr := dm.Demand(spec, level)
+		demand, derr := cp.demand(a)
 		if derr != nil {
 			return nil, derr
 		}
-		depsOK, _ := spec.DepsSatisfied(level)
+		depsOK, _ := cp.C.DepsSatisfied(a)
 		if depsOK && avail(demand) {
-			return &Formulation{
-				Level:        level,
-				Assignment:   a,
-				Ladder:       ladder,
-				Reward:       qos.Reward(ladder, a, penalty),
-				Demand:       demand,
-				Degradations: degradations,
-			}, nil
+			return cp.finish(a, demand, degradations), nil
 		}
 		best := -1
 		bestScore := 0.0
-		for i := range ladder.Attrs {
-			if !ladder.CanDegrade(a, i) {
+		for i := range cp.C.Slots {
+			if !cp.Ladder.CanDegrade(a, i) {
 				continue
 			}
-			la := &ladder.Attrs[i]
-			steps := len(la.Choices)
-			w := la.Weight()
-			cost := penalty(a[i]+1, steps, w) - penalty(a[i], steps, w)
-			trial := a.Clone()
+			cost := cp.C.DegradeCost(a, i)
+			copy(trial, a)
 			trial[i]++
-			trialDemand, terr := dm.Demand(spec, ladder.Level(trial))
+			trialDemand, terr := cp.demand(trial)
 			if terr != nil {
 				return nil, terr
 			}
@@ -168,11 +236,21 @@ func FormulateResourceAware(spec *qos.Spec, req *qos.Request, dm task.DemandMode
 			}
 		}
 		if best == -1 {
-			return nil, fmt.Errorf("%w (request %q after %d degradations)", ErrNoFeasibleLevel, req.Service, degradations)
+			return nil, fmt.Errorf("%w (request %q after %d degradations)", ErrNoFeasibleLevel, cp.Req.Service, degradations)
 		}
 		a[best]++
 		degradations++
 	}
+}
+
+// FormulateResourceAware is the one-shot wrapper of the resource-aware
+// variant.
+func FormulateResourceAware(spec *qos.Spec, req *qos.Request, dm task.DemandModel, avail AvailFunc, gridSteps int, penalty qos.PenaltyFunc) (*Formulation, error) {
+	cp, err := CompileProblem(spec, req, dm, gridSteps, penalty)
+	if err != nil {
+		return nil, err
+	}
+	return cp.FormulateResourceAware(avail)
 }
 
 // demandRelief measures how much a degradation reduces demand, summed
@@ -198,52 +276,50 @@ func demandRelief(cur, next resource.Vector) float64 {
 // optimal counterpart of Formulate used by experiment E5 to measure the
 // heuristic's optimality gap; cost is exponential in attributes, so
 // callers must bound the ladder (maxCombinations guards mistakes).
-func FormulateExhaustive(spec *qos.Spec, req *qos.Request, dm task.DemandModel, avail AvailFunc, gridSteps int, penalty qos.PenaltyFunc, maxCombinations int64) (*Formulation, error) {
-	ladder, err := qos.BuildLadder(spec, req, gridSteps)
-	if err != nil {
-		return nil, err
-	}
-	if penalty == nil {
-		penalty = qos.DefaultPenalty
-	}
-	if c := ladder.Combinations(); c > maxCombinations {
+func (cp *CompiledProblem) FormulateExhaustive(avail AvailFunc, maxCombinations int64) (*Formulation, error) {
+	if c := cp.Ladder.Combinations(); c > maxCombinations {
 		return nil, fmt.Errorf("core: exhaustive search over %d combinations exceeds bound %d", c, maxCombinations)
 	}
-	a := ladder.NewAssignment()
-	var best *Formulation
+	a := cp.Ladder.NewAssignment()
+	var bestA qos.Assignment
+	var bestReward float64
+	var bestDemand resource.Vector
+	bestDeg := 0
 	for {
-		level := ladder.Level(a)
-		if depsOK, _ := spec.DepsSatisfied(level); depsOK {
-			demand, derr := dm.Demand(spec, level)
+		if depsOK, _ := cp.C.DepsSatisfied(a); depsOK {
+			demand, derr := cp.demand(a)
 			if derr != nil {
 				return nil, derr
 			}
 			if avail(demand) {
-				r := qos.Reward(ladder, a, penalty)
+				r := cp.C.Reward(a)
 				deg := 0
 				for _, x := range a {
 					deg += x
 				}
-				if best == nil || r > best.Reward || (r == best.Reward && deg < best.Degradations) {
-					best = &Formulation{
-						Level:        level,
-						Assignment:   a.Clone(),
-						Ladder:       ladder,
-						Reward:       r,
-						Demand:       demand,
-						Degradations: deg,
-					}
+				if bestA == nil || r > bestReward || (r == bestReward && deg < bestDeg) {
+					bestA = a.Clone()
+					bestReward, bestDeg, bestDemand = r, deg, demand
 				}
 			}
 		}
-		if !nextAssignment(ladder, a) {
+		if !nextAssignment(cp.Ladder, a) {
 			break
 		}
 	}
-	if best == nil {
+	if bestA == nil {
 		return nil, ErrNoFeasibleLevel
 	}
-	return best, nil
+	return cp.finish(bestA, bestDemand, bestDeg), nil
+}
+
+// FormulateExhaustive is the one-shot wrapper of the exhaustive search.
+func FormulateExhaustive(spec *qos.Spec, req *qos.Request, dm task.DemandModel, avail AvailFunc, gridSteps int, penalty qos.PenaltyFunc, maxCombinations int64) (*Formulation, error) {
+	cp, err := CompileProblem(spec, req, dm, gridSteps, penalty)
+	if err != nil {
+		return nil, err
+	}
+	return cp.FormulateExhaustive(avail, maxCombinations)
 }
 
 // nextAssignment advances a through the cross-product in odometer order,

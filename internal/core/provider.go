@@ -8,6 +8,7 @@ import (
 	"repro/internal/qos"
 	"repro/internal/radio"
 	"repro/internal/resource"
+	"repro/internal/task"
 	"repro/internal/trace"
 )
 
@@ -43,6 +44,22 @@ type offerKey struct {
 	task  string
 }
 
+// compiledKey caches compiled formulation problems per CFP demand
+// reference. A demand reference is immutable once registered in the
+// catalog (AddDemand rejects duplicates, RegisterService keeps the
+// first), so the same (spec, ref) pair always names the same demand
+// model; the cached entry still remembers the request and is recompiled
+// if a CFP ever carries a different one under the same reference.
+type compiledKey struct {
+	spec string
+	ref  string
+}
+
+type compiledEntry struct {
+	req qos.Request
+	cp  *CompiledProblem
+}
+
 type serviceState struct {
 	organizer    radio.NodeID
 	reservations map[string]resource.ReservationID // task -> firm reservation
@@ -69,6 +86,7 @@ type Provider struct {
 	offers   map[offerKey]*Formulation
 	services map[string]*serviceState
 	holds    map[offerKey]resource.ReservationID
+	compiled map[compiledKey]*compiledEntry
 	down     bool
 
 	// Stats for the experiments.
@@ -92,6 +110,7 @@ func NewProvider(id radio.NodeID, res *resource.Set, cat *Catalog, tr proto.Tran
 		offers:   make(map[offerKey]*Formulation),
 		services: make(map[string]*serviceState),
 		holds:    make(map[offerKey]resource.ReservationID),
+		compiled: make(map[compiledKey]*compiledEntry),
 	}
 }
 
@@ -145,8 +164,11 @@ func (p *Provider) onCFP(from radio.NodeID, m *proto.CFP) {
 		if !ok {
 			continue
 		}
-		req := td.Request
-		f, err := Formulate(spec, &req, dm, p.Res.CanReserve, p.cfg.GridSteps, p.cfg.Penalty)
+		cp, err := p.compileFor(m.SpecName, td.DemandRef, spec, &td.Request, dm)
+		if err != nil {
+			continue
+		}
+		f, err := cp.Formulate(p.Res.CanReserve)
 		if err != nil {
 			continue
 		}
@@ -171,6 +193,34 @@ func (p *Provider) onCFP(from radio.NodeID, m *proto.CFP) {
 	p.mu.Unlock()
 	p.emit("propose", fmt.Sprintf("service %s round %d: %d task(s)", m.ServiceID, m.Round, len(reply.Tasks)))
 	p.tr.Send(from, reply)
+}
+
+// compileFor returns the cached compiled formulation problem for one
+// CFP task, compiling on first sight. Renegotiation rounds, concurrent
+// negotiations over the same service, and monitor-driven reformations
+// all re-CFP the same (request, demand) pairs, so the ladder and the
+// slot tables are built once per provider instead of once per proposal.
+// The cached request copy guards the cache against a reference ever
+// being reused with a different request: equality is checked and a
+// mismatch recompiles.
+func (p *Provider) compileFor(specName, ref string, spec *qos.Spec, req *qos.Request, dm task.DemandModel) (*CompiledProblem, error) {
+	key := compiledKey{spec: specName, ref: ref}
+	p.mu.Lock()
+	e, ok := p.compiled[key]
+	p.mu.Unlock()
+	if ok && e.req.Equal(req) {
+		return e.cp, nil
+	}
+	e = &compiledEntry{req: *req}
+	cp, err := CompileProblem(spec, &e.req, dm, p.cfg.GridSteps, p.cfg.Penalty)
+	if err != nil {
+		return nil, err
+	}
+	e.cp = cp
+	p.mu.Lock()
+	p.compiled[key] = e
+	p.mu.Unlock()
+	return cp, nil
 }
 
 // emit publishes a trace event stamped with this provider's clock.

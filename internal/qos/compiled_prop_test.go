@@ -1,0 +1,245 @@
+package qos
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// genSpecReq builds a random valid (spec, request) pair. Continuous int
+// domains get integral span endpoints so grid rounding cannot step
+// outside the accepted span (the workload generators obey the same
+// convention).
+func genSpecReq(rng *rand.Rand) (*Spec, *Request) {
+	nDims := 1 + rng.Intn(3)
+	spec := &Spec{Name: "prop"}
+	req := &Request{Service: "prop"}
+	for d := 0; d < nDims; d++ {
+		dimID := fmt.Sprintf("d%d", d)
+		dim := Dimension{ID: dimID}
+		dp := DimPref{Dim: dimID}
+		nAttrs := 1 + rng.Intn(3)
+		for a := 0; a < nAttrs; a++ {
+			attrID := fmt.Sprintf("a%d", a)
+			var dom Domain
+			var sets []ValueSet
+			switch rng.Intn(4) {
+			case 0: // discrete ints
+				vals := rng.Perm(8)[:2+rng.Intn(5)]
+				iv := make([]int64, len(vals))
+				for i, v := range vals {
+					iv[i] = int64(v)
+				}
+				dom = DiscreteInts(iv...)
+				for _, i := range rng.Perm(len(iv))[:1+rng.Intn(len(iv))] {
+					sets = append(sets, One(Int(iv[i])))
+				}
+			case 1: // discrete strings
+				all := []string{"hq", "main", "fast", "eco"}
+				k := 2 + rng.Intn(3)
+				dom = DiscreteStrings(all[:k]...)
+				for _, i := range rng.Perm(k)[:1+rng.Intn(k)] {
+					sets = append(sets, One(Str(all[i])))
+				}
+			case 2: // continuous int range with integral spans
+				lo, hi := int64(1), int64(10+rng.Intn(30))
+				dom = IntRange(lo, hi)
+				from := lo + rng.Int63n(hi-lo)
+				to := lo + rng.Int63n(hi-lo)
+				sets = append(sets, Span(float64(from), float64(to)))
+			default: // continuous float range, quarter-step endpoints so
+				// from+(to-from) == to exactly and grid values stay in-span
+				lo, hi := 0.0, float64(4+rng.Intn(80))/4
+				dom = FloatRange(lo, hi)
+				q := int(hi * 4)
+				from := float64(rng.Intn(q+1)) / 4
+				to := float64(rng.Intn(q+1)) / 4
+				sets = append(sets, Span(from, to))
+			}
+			dim.Attributes = append(dim.Attributes, Attribute{ID: attrID, Domain: dom})
+			dp.Attrs = append(dp.Attrs, AttrPref{Attr: attrID, Sets: sets})
+		}
+		spec.Dimensions = append(spec.Dimensions, dim)
+		req.Dims = append(req.Dims, dp)
+	}
+	genDeps(rng, spec)
+	return spec, req
+}
+
+// genDeps sprinkles up to two random dependencies over the spec.
+func genDeps(rng *rand.Rand, spec *Spec) {
+	keys := allKeys(spec)
+	if len(keys) < 2 {
+		return
+	}
+	for n := rng.Intn(3); n > 0; n-- {
+		perm := rng.Perm(len(keys))
+		a, b := keys[perm[0]], keys[perm[1]]
+		na, nb := spec.Attr(a), spec.Attr(b)
+		if na.Domain.Type != TypeString && nb.Domain.Type != TypeString && rng.Intn(2) == 0 {
+			kind := DepMaxSum
+			if rng.Intn(2) == 0 {
+				kind = DepMaxProduct
+			}
+			spec.Deps = append(spec.Deps, Dependency{
+				Kind: kind, A: a, B: b, Bound: rng.Float64() * 100,
+			})
+			continue
+		}
+		av := randomDomainValue(rng, na.Domain)
+		var bset []Value
+		for i := 0; i < 1+rng.Intn(2); i++ {
+			bset = append(bset, randomDomainValue(rng, nb.Domain))
+		}
+		spec.Deps = append(spec.Deps, Dependency{Kind: DepRequires, A: a, B: b, AVal: av, BSet: bset})
+	}
+}
+
+func allKeys(spec *Spec) []AttrKey {
+	var keys []AttrKey
+	for _, d := range spec.Dimensions {
+		for _, a := range d.Attributes {
+			keys = append(keys, AttrKey{Dim: d.ID, Attr: a.ID})
+		}
+	}
+	return keys
+}
+
+func randomDomainValue(rng *rand.Rand, d Domain) Value {
+	if d.Kind == Discrete {
+		return d.Values[rng.Intn(len(d.Values))]
+	}
+	x := d.Min + rng.Float64()*(d.Max-d.Min)
+	if d.Type == TypeInt {
+		return Int(int64(x))
+	}
+	return Float(x)
+}
+
+// TestCompiledMatchesMapPath is the bit-compatibility contract of the
+// compiled representation: across random specs, requests, penalties and
+// assignments, the slot-indexed Distance/Reward/DepsSatisfied are
+// float64-identical (==, not epsilon) to the map-based originals.
+func TestCompiledMatchesMapPath(t *testing.T) {
+	penalties := []PenaltyFunc{nil, DefaultPenalty, QuadraticPenalty}
+	for seed := int64(0); seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		spec, req := genSpecReq(rng)
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid generated spec: %v", seed, err)
+		}
+		eval, err := NewEvaluator(spec, req)
+		if err != nil {
+			t.Fatalf("seed %d: evaluator: %v", seed, err)
+		}
+		ld, err := BuildLadder(spec, req, 1+rng.Intn(5))
+		if err != nil {
+			t.Fatalf("seed %d: ladder: %v", seed, err)
+		}
+		pen := penalties[seed%int64(len(penalties))]
+		c, err := eval.Compile(ld, pen)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		for trial := 0; trial < 40; trial++ {
+			a := ld.NewAssignment()
+			for i := range a {
+				a[i] = rng.Intn(len(ld.Attrs[i].Choices))
+			}
+			level := ld.Level(a)
+
+			wantOK, wantDep := spec.DepsSatisfied(level)
+			gotOK, gotDep := c.DepsSatisfied(a)
+			if wantOK != gotOK || wantDep != gotDep {
+				t.Fatalf("seed %d: DepsSatisfied(%v) = (%v,%d), map path (%v,%d)",
+					seed, a, gotOK, gotDep, wantOK, wantDep)
+			}
+
+			wantR := Reward(ld, a, pen)
+			if gotR := c.Reward(a); gotR != wantR {
+				t.Fatalf("seed %d: Reward(%v) = %v, map path %v", seed, a, gotR, wantR)
+			}
+
+			if !wantOK {
+				continue // the evaluator rejects dependency-violating levels
+			}
+			wantD, err := eval.Distance(level)
+			if err != nil {
+				t.Fatalf("seed %d: map distance: %v", seed, err)
+			}
+			if gotD := c.Distance(a); gotD != wantD {
+				t.Fatalf("seed %d: Distance(%v) = %v, map path %v", seed, a, gotD, wantD)
+			}
+
+			for i := range a {
+				if !ld.CanDegrade(a, i) {
+					continue
+				}
+				p := pen
+				if p == nil {
+					p = DefaultPenalty
+				}
+				la := &ld.Attrs[i]
+				steps, w := len(la.Choices), la.Weight()
+				want := p(a[i]+1, steps, w) - p(a[i], steps, w)
+				if got := c.DegradeCost(a, i); got != want {
+					t.Fatalf("seed %d: DegradeCost(%v,%d) = %v, map path %v", seed, a, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkDistanceCompiled is the compiled counterpart of
+// BenchmarkDistance: the same Section 6 evaluation on the slot-indexed
+// tables.
+func BenchmarkDistanceCompiled(b *testing.B) {
+	e, err := NewEvaluator(paperSpec(), paperRequest())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ld, err := BuildLadder(paperSpec(), paperRequest(), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := e.Compile(ld, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := ld.NewAssignment()
+	for i := range a {
+		if ld.CanDegrade(a, i) {
+			a[i]++
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := c.Distance(a); d < 0 {
+			b.Fatal("negative distance")
+		}
+	}
+}
+
+// BenchmarkRewardCompiled is the compiled counterpart of BenchmarkReward.
+func BenchmarkRewardCompiled(b *testing.B) {
+	e, err := NewEvaluator(paperSpec(), paperRequest())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ld, err := BuildLadder(paperSpec(), paperRequest(), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := e.Compile(ld, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := ld.NewAssignment()
+	a[0] = 2
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Reward(a)
+	}
+}

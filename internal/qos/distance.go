@@ -73,13 +73,16 @@ func (e *Evaluator) distance(prop Level, breakdown bool) (float64, []DimDistance
 	var total float64
 	var dims []DimDistance
 	for k, dp := range e.Req.Dims {
-		wk := float64(n-k) / float64(n) // (n-(k+1)+1)/n with k 0-based
+		wk := RankWeight(k+1, n) // eq. 3; k is 0-based here
 		ak := len(dp.Attrs)
 		var dd float64
 		for i, ap := range dp.Attrs {
-			wi := float64(ak-i) / float64(ak)
+			wi := RankWeight(i+1, ak)
 			key := AttrKey{Dim: dp.Dim, Attr: ap.Attr}
-			pref, _ := e.Req.PreferredValue(key)
+			pref, ok := e.Req.PreferredValue(key)
+			if !ok {
+				return 0, nil, fmt.Errorf("qos: request %q carries no preference for attribute %v", e.Req.Service, key)
+			}
 			dif, err := e.Dif(key, prop[key], pref)
 			if err != nil {
 				return 0, nil, err
@@ -130,10 +133,10 @@ func (e *Evaluator) MaxDistance() float64 {
 	n := len(e.Req.Dims)
 	var total float64
 	for k, dp := range e.Req.Dims {
-		wk := float64(n-k) / float64(n)
+		wk := RankWeight(k+1, n)
 		ak := len(dp.Attrs)
 		for i := range dp.Attrs {
-			total += wk * float64(ak-i) / float64(ak)
+			total += wk * RankWeight(i+1, ak)
 		}
 	}
 	return total

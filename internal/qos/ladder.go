@@ -28,9 +28,7 @@ type LadderAttr struct {
 // attribute, with w_k = (n-k+1)/n (eq. 3) and the analogous intra-dimension
 // attribute weight w_i = (attr_k-i+1)/attr_k.
 func (la *LadderAttr) Weight() float64 {
-	wk := float64(la.DimCount-la.DimIndex+1) / float64(la.DimCount)
-	wi := float64(la.AttrCount-la.AttrIndex+1) / float64(la.AttrCount)
-	return wk * wi
+	return RankWeight(la.DimIndex, la.DimCount) * RankWeight(la.AttrIndex, la.AttrCount)
 }
 
 // Ladder is the discretized degradation space of a request: for each

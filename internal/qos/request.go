@@ -205,6 +205,42 @@ func (r *Request) PreferredValue(k AttrKey) (Value, bool) {
 	return Value{}, false
 }
 
+// Equal reports whether two requests are structurally identical: same
+// service, same dimension/attribute order, same accepted sets. It is
+// the allocation-free counterpart of reflect.DeepEqual used by cache
+// validation on the CFP hot path.
+func (r *Request) Equal(o *Request) bool {
+	if r.Service != o.Service || len(r.Dims) != len(o.Dims) {
+		return false
+	}
+	for i := range r.Dims {
+		dp, op := &r.Dims[i], &o.Dims[i]
+		if dp.Dim != op.Dim || len(dp.Attrs) != len(op.Attrs) {
+			return false
+		}
+		for j := range dp.Attrs {
+			ap, bp := &dp.Attrs[j], &op.Attrs[j]
+			if ap.Attr != bp.Attr || len(ap.Sets) != len(bp.Sets) {
+				return false
+			}
+			for k := range ap.Sets {
+				as, bs := ap.Sets[k], bp.Sets[k]
+				if as.Continuous != bs.Continuous {
+					return false
+				}
+				if as.Continuous {
+					if as.From != bs.From || as.To != bs.To {
+						return false
+					}
+				} else if !as.Single.Equal(bs.Single) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
 // Keys returns the requested attribute keys in request (importance) order.
 func (r *Request) Keys() []AttrKey {
 	var ks []AttrKey

@@ -164,3 +164,29 @@ func TestRequestKeysOrder(t *testing.T) {
 		}
 	}
 }
+
+func TestRequestEqual(t *testing.T) {
+	a, b := paperRequest(), paperRequest()
+	if !a.Equal(b) {
+		t.Fatal("identical requests must be Equal")
+	}
+	b.Service = "other"
+	if a.Equal(b) {
+		t.Error("service difference not detected")
+	}
+	b = paperRequest()
+	b.Dims[0].Attrs[0].Sets[0].From++
+	if a.Equal(b) {
+		t.Error("span endpoint difference not detected")
+	}
+	b = paperRequest()
+	b.Dims[1].Attrs[1].Sets[0].Single = Int(99)
+	if a.Equal(b) {
+		t.Error("discrete value difference not detected")
+	}
+	b = paperRequest()
+	b.Dims[0].Attrs = b.Dims[0].Attrs[:1]
+	if a.Equal(b) {
+		t.Error("attribute count difference not detected")
+	}
+}

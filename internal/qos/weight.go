@@ -1,0 +1,11 @@
+package qos
+
+// RankWeight is the paper's eq. 3 in one place: the importance weight
+// of the element at 1-based position k in an ordered list of n,
+// w_k = (n-k+1)/n. The most important element (k=1) weighs 1; the least
+// important weighs 1/n. The same formula weighs dimensions within a
+// request and attributes within a dimension (the paper leaves the
+// intra-dimension weight implicit; we use the analogous form).
+func RankWeight(k, n int) float64 {
+	return float64(n-k+1) / float64(n)
+}

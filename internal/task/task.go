@@ -8,6 +8,8 @@ package task
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"repro/internal/qos"
 	"repro/internal/resource"
@@ -95,20 +97,123 @@ type DemandModel interface {
 	Demand(spec *qos.Spec, level qos.Level) (resource.Vector, error)
 }
 
+// SlotDemandModel is the optional fast path of DemandModel: models that
+// decompose over individual attributes can precompute, once per ladder,
+// the demand contribution of every (slot, choice) pair. The degradation
+// heuristic then re-evaluates demand per step with a handful of vector
+// adds on the compiled table instead of materializing a Level map and
+// walking the model on every iteration. Models that cannot decompose
+// (or cannot prove the decomposition safe) return an error; callers
+// fall back to Demand.
+type SlotDemandModel interface {
+	DemandModel
+	CompileDemand(spec *qos.Spec, ld *qos.Ladder) (*DemandTable, error)
+}
+
+// DemandTable is a compiled per-slot demand decomposition:
+// demand(a) = Base + sum over slots i of Contrib[i][a[i]], with the
+// sum taken in canonical (dim, attr) key order via order so that the
+// result is bit-identical to LinearDemand.Demand on the materialized
+// level — by construction, for any coefficients, not only
+// exactly-representable ones.
+type DemandTable struct {
+	Base    resource.Vector
+	Contrib [][]resource.Vector
+	// order lists slot indices sorted by attribute key: the canonical
+	// summation order shared with the level-by-level path.
+	order []int
+}
+
+// Demand evaluates the table on an assignment, allocation-free.
+func (t *DemandTable) Demand(a qos.Assignment) resource.Vector {
+	out := t.Base
+	for _, i := range t.order {
+		out = out.Add(t.Contrib[i][a[i]])
+	}
+	return out
+}
+
+// CompileDemand implements SlotDemandModel: LinearDemand decomposes
+// exactly (base + per-attribute coefficient * magnitude). Compilation
+// fails if any ladder choice has no magnitude, or if the base or any
+// contribution has a negative component: with everything nonnegative no
+// evaluated demand can ever go negative, so the table needs no
+// per-level negativity check, and the (exotic) mixed-sign models keep
+// the level-by-level path whose Demand rejects negative vectors
+// exactly where they occur.
+func (d *LinearDemand) CompileDemand(spec *qos.Spec, ld *qos.Ladder) (*DemandTable, error) {
+	if !d.Base.Nonnegative() {
+		return nil, fmt.Errorf("task: linear demand base %v has negative component", d.Base)
+	}
+	t := &DemandTable{Base: d.Base, Contrib: make([][]resource.Vector, ld.Len())}
+	keys := make([]qos.AttrKey, 0, ld.Len())
+	for i := range ld.Attrs {
+		la := &ld.Attrs[i]
+		coef, ok := d.Coef[la.Key]
+		t.Contrib[i] = make([]resource.Vector, len(la.Choices))
+		if !ok {
+			continue // attribute costs nothing; excluded from the sum
+		}
+		keys = append(keys, la.Key)
+		for ci, v := range la.Choices {
+			mag, err := magnitude(spec, la.Key, v)
+			if err != nil {
+				return nil, err
+			}
+			c := coef.Scale(mag)
+			if !c.Nonnegative() {
+				return nil, fmt.Errorf("task: contribution %v of %v is negative; keeping the level-by-level path", c, la.Key)
+			}
+			t.Contrib[i][ci] = c
+		}
+	}
+	// Sum contributing slots in the same canonical key order as Demand.
+	sortKeys(keys)
+	for _, key := range keys {
+		t.order = append(t.order, ld.AttrIndex(key))
+	}
+	return t, nil
+}
+
 // LinearDemand is base + sum over attributes of coefficient * magnitude,
 // where magnitude is the attribute's numeric value for numeric attributes
 // and the quality-index position for string attributes. It captures the
 // codec-style trade-offs the paper motivates (higher frame rate / color
-// depth -> proportionally more CPU and bandwidth).
+// depth -> proportionally more CPU and bandwidth). Coef must not be
+// mutated after the first Demand or CompileDemand call: the canonical
+// key order is computed once and cached.
 type LinearDemand struct {
 	Base resource.Vector
 	Coef map[qos.AttrKey]resource.Vector
+
+	keysOnce sync.Once
+	keys     []qos.AttrKey
 }
 
-// Demand implements DemandModel.
+// sortedKeys returns Coef's keys in canonical (dim, attr) order,
+// computed once; safe for concurrent use (providers share demand
+// models through the catalog).
+func (d *LinearDemand) sortedKeys() []qos.AttrKey {
+	d.keysOnce.Do(func() {
+		d.keys = make([]qos.AttrKey, 0, len(d.Coef))
+		for key := range d.Coef {
+			d.keys = append(d.keys, key)
+		}
+		sortKeys(d.keys)
+	})
+	return d.keys
+}
+
+// Demand implements DemandModel. Contributions are summed in canonical
+// (dim, attr) key order — not Go's randomized map order — so the result
+// is bit-deterministic across runs and bit-identical to the compiled
+// DemandTable, which sums in the same canonical order. Float addition
+// is commutative but not associative; a fixed order is what makes the
+// slot-indexed fast path equal to this one by construction instead of
+// by luck with exactly-representable coefficients.
 func (d *LinearDemand) Demand(spec *qos.Spec, level qos.Level) (resource.Vector, error) {
 	out := d.Base
-	for key, coef := range d.Coef {
+	for _, key := range d.sortedKeys() {
 		v, ok := level[key]
 		if !ok {
 			continue
@@ -117,12 +222,22 @@ func (d *LinearDemand) Demand(spec *qos.Spec, level qos.Level) (resource.Vector,
 		if err != nil {
 			return resource.Vector{}, err
 		}
-		out = out.Add(coef.Scale(mag))
+		out = out.Add(d.Coef[key].Scale(mag))
 	}
 	if !out.Nonnegative() {
 		return resource.Vector{}, fmt.Errorf("task: linear demand produced negative vector %v", out)
 	}
 	return out, nil
+}
+
+// sortKeys orders attribute keys canonically by (dim, attr).
+func sortKeys(keys []qos.AttrKey) {
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Dim != keys[j].Dim {
+			return keys[i].Dim < keys[j].Dim
+		}
+		return keys[i].Attr < keys[j].Attr
+	})
 }
 
 func magnitude(spec *qos.Spec, key qos.AttrKey, v qos.Value) (float64, error) {

@@ -81,6 +81,8 @@ func All() []Experiment {
 			Claim: "cooperation must survive helpers dying of battery exhaustion (S7)", Run: E14EnergyDepletion},
 		{ID: "E15", Title: "Run-time quality upgrade",
 			Claim: "coalitions can dynamically change the executing quality level (S4)", Run: E15QualityUpgrade},
+		{ID: "E16", Title: "Optimal baseline: branch-and-bound vs exhaustive enumeration",
+			Claim: "pruning, not enumeration, keeps the optimal baseline tractable as populations grow", Run: E16OptimalScaling},
 	}
 }
 

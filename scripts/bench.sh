@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# bench.sh — snapshot the hot-path micro-benchmarks and the sweep
+# benchmarks into a JSON document for the perf trajectory.
+#
+# Usage: scripts/bench.sh [OUT.json] [BENCHTIME]
+#
+#   OUT.json   output path (default BENCH.json)
+#   BENCHTIME  go test -benchtime value (default 1s; use 1x for a smoke
+#              run, which is what CI does)
+#
+# BENCH_PR2.json in the repo root is the first committed point of this
+# trajectory: the same benchmarks captured immediately before and after
+# the PR-2 compiled-hot-path refactor.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH.json}"
+benchtime="${2:-1s}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+run_bench() { # pkg, pattern
+  go test -run '^$' -bench "$2" -benchmem -benchtime "$benchtime" "$1" | tee -a "$tmp" >&2
+}
+
+# Micro-benchmarks of the three compiled inner loops, their pre-compile
+# counterparts, and the end-to-end E1/E5/E16 sweeps.
+run_bench . 'BenchmarkFormulate$|BenchmarkFormulateOneShot$|BenchmarkFormulateExhaustive$|BenchmarkDistanceEval$|BenchmarkE1AcceptanceVsNodes$|BenchmarkE5HeuristicVsOptimal$|BenchmarkE16OptimalScaling$'
+run_bench ./internal/qos 'BenchmarkDistance$|BenchmarkDistanceCompiled$|BenchmarkReward$|BenchmarkRewardCompiled$|BenchmarkBuildLadder$'
+run_bench ./internal/baseline 'BenchmarkOptimal$|BenchmarkOptimalExhaustive$|BenchmarkOptimalLarge$'
+
+awk -v commit="$(git describe --always --dirty 2>/dev/null || echo unknown)" \
+    -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    -v gover="$(go version | awk '{print $3}')" '
+BEGIN {
+  printf "{\n  \"commit\": \"%s\",\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": {\n", commit, date, gover
+  sep = ""
+}
+/^Benchmark/ {
+  name = $1
+  sub(/-[0-9]+$/, "", name)
+  ns = ""; bytes = ""; allocs = ""
+  for (i = 2; i < NF; i++) {
+    if ($(i+1) == "ns/op") ns = $i
+    if ($(i+1) == "B/op") bytes = $i
+    if ($(i+1) == "allocs/op") allocs = $i
+  }
+  if (ns == "") next
+  printf "%s    \"%s\": {\"ns_op\": %s, \"bytes_op\": %s, \"allocs_op\": %s}", sep, name, ns, bytes == "" ? "null" : bytes, allocs == "" ? "null" : allocs
+  sep = ",\n"
+}
+END { printf "\n  }\n}\n" }
+' "$tmp" > "$out"
+
+echo "wrote $out" >&2
