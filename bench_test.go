@@ -1,6 +1,6 @@
 package repro
 
-// One benchmark per experiment (E1-E16, the repo's "evaluation section";
+// One benchmark per experiment (E1-E19, the repo's "evaluation section";
 // the paper publishes no tables or figures, see DESIGN.md and
 // EXPERIMENTS.md) plus micro-benchmarks for the hot paths: distance
 // evaluation, proposal formulation, winner selection, and a full
@@ -57,6 +57,9 @@ func BenchmarkE13ConcurrentServices(b *testing.B) { benchExperiment(b, xp.E13Con
 func BenchmarkE14EnergyDepletion(b *testing.B)    { benchExperiment(b, xp.E14EnergyDepletion) }
 func BenchmarkE15QualityUpgrade(b *testing.B)     { benchExperiment(b, xp.E15QualityUpgrade) }
 func BenchmarkE16OptimalScaling(b *testing.B)     { benchExperiment(b, xp.E16OptimalScaling) }
+func BenchmarkE17OfferedLoad(b *testing.B)        { benchExperiment(b, xp.E17OfferedLoad) }
+func BenchmarkE18ArrivalShapes(b *testing.B)      { benchExperiment(b, xp.E18ArrivalShapes) }
+func BenchmarkE19CombinedChurn(b *testing.B)      { benchExperiment(b, xp.E19CombinedChurn) }
 
 // BenchmarkSweepParallel runs one full-size replication-heavy
 // experiment at increasing worker-pool widths. Throughput should scale

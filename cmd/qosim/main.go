@@ -11,8 +11,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -23,57 +25,81 @@ import (
 	"repro/internal/workload"
 )
 
-func main() {
-	seed := flag.Int64("seed", 1, "scenario seed")
-	nodes := flag.Int("nodes", 12, "population size")
-	tasks := flag.Int("tasks", 4, "tasks in the requested service")
-	scale := flag.Float64("scale", 1.5, "demand scale factor")
-	kind := flag.String("service", "stream", "service template: stream | surveillance | offload")
-	mobile := flag.Bool("mobile", false, "random-waypoint mobility")
-	loss := flag.Float64("loss", 0, "radio loss probability [0,1)")
-	fail := flag.Int("fail", 0, "kill N coalition members at t=5s")
-	verbose := flag.Bool("verbose", false, "print per-node detail")
-	showTrace := flag.Bool("trace", false, "print the protocol event timeline")
-	flag.Parse()
+// options is the parsed command line.
+type options struct {
+	seed      int64
+	nodes     int
+	tasks     int
+	scale     float64
+	kind      string
+	mobile    bool
+	loss      float64
+	fail      int
+	verbose   bool
+	showTrace bool
+}
 
+// parseFlags parses args (without the program name) into options.
+func parseFlags(args []string, errw io.Writer) (*options, error) {
+	fs := flag.NewFlagSet("qosim", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	o := &options{}
+	fs.Int64Var(&o.seed, "seed", 1, "scenario seed")
+	fs.IntVar(&o.nodes, "nodes", 12, "population size")
+	fs.IntVar(&o.tasks, "tasks", 4, "tasks in the requested service")
+	fs.Float64Var(&o.scale, "scale", 1.5, "demand scale factor")
+	fs.StringVar(&o.kind, "service", "stream", "service template: stream | surveillance | offload")
+	fs.BoolVar(&o.mobile, "mobile", false, "random-waypoint mobility")
+	fs.Float64Var(&o.loss, "loss", 0, "radio loss probability [0,1)")
+	fs.IntVar(&o.fail, "fail", 0, "kill N coalition members at t=5s")
+	fs.BoolVar(&o.verbose, "verbose", false, "print per-node detail")
+	fs.BoolVar(&o.showTrace, "trace", false, "print the protocol event timeline")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// run executes one scenario and prints the report to out.
+func run(o *options, out io.Writer) error {
 	ring := trace.NewRing(4096)
-	scfg := workload.DefaultScenario(*seed)
-	scfg.Nodes = *nodes
-	scfg.Mobile = *mobile
-	scfg.Radio.LossProb = *loss
-	if *showTrace {
+	scfg := workload.DefaultScenario(o.seed)
+	scfg.Nodes = o.nodes
+	scfg.Mobile = o.mobile
+	scfg.Radio.LossProb = o.loss
+	if o.showTrace {
 		scfg.Provider.Trace = ring
 	}
 	sc, err := workload.Build(scfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	var svc *task.Service
-	switch *kind {
+	switch o.kind {
 	case "stream":
-		svc = workload.StreamService("svc", *tasks, *scale)
+		svc = workload.StreamService("svc", o.tasks, o.scale)
 	case "surveillance":
-		svc = workload.SurveillanceService("svc", *scale)
+		svc = workload.SurveillanceService("svc", o.scale)
 	case "offload":
-		svc = workload.OffloadService("svc", *tasks, *scale)
+		svc = workload.OffloadService("svc", o.tasks, o.scale)
 	default:
-		fatal(fmt.Errorf("unknown service kind %q", *kind))
+		return fmt.Errorf("unknown service kind %q", o.kind)
 	}
 
-	if *verbose {
-		fmt.Println("population:")
+	if o.verbose {
+		fmt.Fprintln(out, "population:")
 		for _, id := range sc.Cluster.Nodes() {
 			n := sc.Cluster.Node(id)
 			pos, _ := sc.Cluster.Medium.PosOf(id)
-			fmt.Printf("  node %2d %-12s at (%3.0f,%3.0f)  capacity %v\n",
+			fmt.Fprintf(out, "  node %2d %-12s at (%3.0f,%3.0f)  capacity %v\n",
 				id, n.Profile, pos.X, pos.Y, n.Res.Capacity())
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 
 	ocfg := core.DefaultOrganizerConfig
-	if *showTrace {
+	if o.showTrace {
 		ocfg.Trace = ring
 	}
 	var results []*core.Result
@@ -81,9 +107,9 @@ func main() {
 		results = append(results, r)
 	})
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	if *fail > 0 {
+	if o.fail > 0 {
 		sc.Cluster.Eng.At(5, func() {
 			if len(results) == 0 {
 				return
@@ -94,33 +120,33 @@ func main() {
 					continue
 				}
 				sc.Cluster.FailNode(m)
-				fmt.Printf("t=5.0s  node %d failed\n", m)
+				fmt.Fprintf(out, "t=5.0s  node %d failed\n", m)
 				killed++
-				if killed == *fail {
+				if killed == o.fail {
 					return
 				}
 			}
 		})
 	}
 	horizon := 10.0
-	if *fail > 0 {
+	if o.fail > 0 {
 		horizon = 40
 	}
 	sc.Cluster.Run(horizon)
 
 	if len(results) == 0 {
-		fatal(fmt.Errorf("formation did not complete"))
+		return fmt.Errorf("formation did not complete")
 	}
 	for i, r := range results {
 		label := "formation"
 		if i > 0 {
 			label = fmt.Sprintf("reformation %d", i)
 		}
-		fmt.Printf("%s: %d/%d tasks in %d round(s), %.0f ms, %d proposals\n",
+		fmt.Fprintf(out, "%s: %d/%d tasks in %d round(s), %.0f ms, %d proposals\n",
 			label, len(r.Assigned), len(svc.Tasks), r.Rounds, r.FormationTime*1000, r.ProposalsReceived)
 	}
 	final := org.Snapshot()
-	fmt.Println("\nfinal allocation:")
+	fmt.Fprintln(out, "\nfinal allocation:")
 	ids := make([]string, 0, len(final))
 	for tid := range final {
 		ids = append(ids, tid)
@@ -130,29 +156,39 @@ func main() {
 		a := final[tid]
 		n := sc.Cluster.Node(a.Node)
 		eval, _ := qos.NewEvaluator(svc.Spec, &svc.Task(tid).Request)
-		fmt.Printf("  %-8s -> node %2d (%-12s) distance %.4f  utility %.3f\n",
+		fmt.Fprintf(out, "  %-8s -> node %2d (%-12s) distance %.4f  utility %.3f\n",
 			tid, a.Node, n.Profile, a.Distance, eval.Utility(a.Distance))
-		if *verbose {
-			fmt.Printf("           level %v\n", a.Level)
+		if o.verbose {
+			fmt.Fprintf(out, "           level %v\n", a.Level)
 		}
 	}
 	for _, t := range svc.Tasks {
 		if _, ok := final[t.ID]; !ok {
-			fmt.Printf("  %-8s UNSERVED\n", t.ID)
+			fmt.Fprintf(out, "  %-8s UNSERVED\n", t.ID)
 		}
 	}
 	st := sc.Cluster.Medium.Stats
-	fmt.Printf("\nradio: %d broadcasts, %d unicasts, %d deliveries, %d drops, %.1f KiB\n",
+	fmt.Fprintf(out, "\nradio: %d broadcasts, %d unicasts, %d deliveries, %d drops, %.1f KiB\n",
 		st.Broadcasts, st.Unicasts, st.Deliveries, st.Drops, float64(st.Bytes)/1024)
 	if org.Failures > 0 {
-		fmt.Printf("monitor: %d failure(s) detected, %d reconfiguration(s)\n", org.Failures, org.Reconfigurations)
+		fmt.Fprintf(out, "monitor: %d failure(s) detected, %d reconfiguration(s)\n", org.Failures, org.Reconfigurations)
 	}
-	if *showTrace {
-		fmt.Printf("\nprotocol timeline (%d events):\n%s", ring.Total(), ring.String())
+	if o.showTrace {
+		fmt.Fprintf(out, "\nprotocol timeline (%d events):\n%s", ring.Total(), ring.String())
 	}
+	return nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "qosim:", err)
-	os.Exit(1)
+func main() {
+	o, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		os.Exit(2)
+	}
+	if err := run(o, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "qosim:", err)
+		os.Exit(1)
+	}
 }

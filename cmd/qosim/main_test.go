@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	o, err := parseFlags(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.seed != 1 || o.nodes != 12 || o.tasks != 4 || o.scale != 1.5 || o.kind != "stream" {
+		t.Errorf("unexpected defaults: %+v", o)
+	}
+	if _, err := parseFlags([]string{"-nonsense"}, io.Discard); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	// -h is help, not an invalid invocation (main exits 0 on it).
+	if _, err := parseFlags([]string{"-h"}, io.Discard); !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("-h returned %v, want flag.ErrHelp", err)
+	}
+}
+
+// TestRunStreamScenario is the end-to-end smoke test: a default-ish
+// scenario forms a coalition and the report names every task.
+func TestRunStreamScenario(t *testing.T) {
+	var out bytes.Buffer
+	o, err := parseFlags([]string{"-seed", "1", "-nodes", "10", "-tasks", "3", "-verbose"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(o, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"population:", "formation:", "final allocation:", "t0", "t2", "radio:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunServiceKinds exercises the other service templates and the
+// failure-injection path.
+func TestRunServiceKinds(t *testing.T) {
+	for _, args := range [][]string{
+		{"-service", "surveillance", "-scale", "1"},
+		{"-service", "offload", "-tasks", "2", "-scale", "1"},
+		{"-fail", "1", "-trace"},
+	} {
+		var out bytes.Buffer
+		o, err := parseFlags(args, io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := run(o, &out); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+		if !strings.Contains(out.String(), "final allocation:") {
+			t.Errorf("run(%v) produced no allocation report", args)
+		}
+	}
+}
+
+func TestRunRejectsUnknownService(t *testing.T) {
+	o, err := parseFlags([]string{"-service", "nonsense"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(o, io.Discard); err == nil {
+		t.Error("unknown service kind accepted")
+	}
+}
+
+// TestRunDeterministic: same seed, same report (the CLI is a thin shell
+// over the deterministic simulator).
+func TestRunDeterministic(t *testing.T) {
+	render := func() string {
+		var out bytes.Buffer
+		o, err := parseFlags([]string{"-seed", "7", "-nodes", "8"}, io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := run(o, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Errorf("same seed rendered different reports:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+}

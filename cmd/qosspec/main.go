@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/qos"
@@ -25,84 +26,90 @@ func main() {
 	emit := flag.Bool("emit-example", false, "emit the paper's example spec and request")
 	flag.Parse()
 
+	var err error
 	switch {
 	case *emit:
-		emitExample()
+		err = emitExample(os.Stdout)
 	case *specPath != "":
-		inspect(*specPath, *reqPath)
+		err = inspect(*specPath, *reqPath, os.Stdout)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qosspec:", err)
+		os.Exit(1)
+	}
 }
 
-func emitExample() {
+// emitExample prints the paper's Section 3 spec and Section 3.1 request
+// as JSON.
+func emitExample(out io.Writer) error {
 	spec := workload.VideoSpec()
 	sb, err := qos.EncodeSpec(spec)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	req := workload.SurveillanceRequest()
 	rb, err := qos.EncodeRequest(&req)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Println("// spec (paper Section 3):")
-	fmt.Println(string(sb))
-	fmt.Println("// request (paper Section 3.1):")
-	fmt.Println(string(rb))
+	fmt.Fprintln(out, "// spec (paper Section 3):")
+	fmt.Fprintln(out, string(sb))
+	fmt.Fprintln(out, "// request (paper Section 3.1):")
+	fmt.Fprintln(out, string(rb))
+	return nil
 }
 
-func inspect(specPath, reqPath string) {
+// inspect validates a spec file (and optionally a request against it)
+// and prints a structural summary.
+func inspect(specPath, reqPath string, out io.Writer) error {
 	sb, err := os.ReadFile(specPath)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	spec, err := qos.DecodeSpec(sb)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("spec %q: %d dimensions, %d dependencies — OK\n", spec.Name, len(spec.Dimensions), len(spec.Deps))
+	fmt.Fprintf(out, "spec %q: %d dimensions, %d dependencies — OK\n", spec.Name, len(spec.Dimensions), len(spec.Deps))
 	for _, d := range spec.Dimensions {
-		fmt.Printf("  %s (%s)\n", d.ID, d.Name)
+		fmt.Fprintf(out, "  %s (%s)\n", d.ID, d.Name)
 		for _, a := range d.Attributes {
 			dom := a.Domain
 			if dom.Kind == qos.Discrete {
-				fmt.Printf("    %-16s %s %s, %d values (quality index order)\n", a.ID, dom.Kind, dom.Type, len(dom.Values))
+				fmt.Fprintf(out, "    %-16s %s %s, %d values (quality index order)\n", a.ID, dom.Kind, dom.Type, len(dom.Values))
 			} else {
-				fmt.Printf("    %-16s %s %s [%g, %g]\n", a.ID, dom.Kind, dom.Type, dom.Min, dom.Max)
+				fmt.Fprintf(out, "    %-16s %s %s [%g, %g]\n", a.ID, dom.Kind, dom.Type, dom.Min, dom.Max)
 			}
 		}
 	}
 	if reqPath == "" {
-		return
+		return nil
 	}
 	rb, err := os.ReadFile(reqPath)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	req, err := qos.DecodeRequest(rb)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if err := req.Validate(spec); err != nil {
-		fatal(err)
+		return err
 	}
 	eval, err := qos.NewEvaluator(spec, req)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("request %q: valid against %q\n", req.Service, spec.Name)
-	fmt.Printf("  preferred level: %v\n", req.Preferred())
-	fmt.Printf("  max distance:    %.4f\n", eval.MaxDistance())
+	fmt.Fprintf(out, "request %q: valid against %q\n", req.Service, spec.Name)
+	fmt.Fprintf(out, "  preferred level: %v\n", req.Preferred())
+	fmt.Fprintf(out, "  max distance:    %.4f\n", eval.MaxDistance())
 	ld, err := qos.BuildLadder(spec, req, qos.DefaultGridSteps)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("  degradation space: %d candidate levels over %d attributes\n", ld.Combinations(), ld.Len())
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "qosspec:", err)
-	os.Exit(1)
+	fmt.Fprintf(out, "  degradation space: %d candidate levels over %d attributes\n", ld.Combinations(), ld.Len())
+	return nil
 }

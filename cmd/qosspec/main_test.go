@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/qos"
+	"repro/internal/workload"
+)
+
+// TestEmitExample: the emitted example must be valid JSON that decodes
+// back to a valid (spec, request) pair — the round-trip users are told
+// to start from.
+func TestEmitExample(t *testing.T) {
+	var out bytes.Buffer
+	if err := emitExample(&out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"// spec (paper Section 3):", "// request (paper Section 3.1):", "multimedia", "frame_rate"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("emit output missing %q", want)
+		}
+	}
+}
+
+// TestInspectSpecAndRequest writes the example spec and request to disk
+// and inspects them, the command's primary workflow.
+func TestInspectSpecAndRequest(t *testing.T) {
+	dir := t.TempDir()
+	sb, err := qos.EncodeSpec(workload.VideoSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := workload.SurveillanceRequest()
+	rb, err := qos.EncodeRequest(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specPath := filepath.Join(dir, "spec.json")
+	reqPath := filepath.Join(dir, "req.json")
+	if err := os.WriteFile(specPath, sb, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(reqPath, rb, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var specOnly bytes.Buffer
+	if err := inspect(specPath, "", &specOnly); err != nil {
+		t.Fatalf("inspect spec: %v", err)
+	}
+	if !strings.Contains(specOnly.String(), `spec "multimedia": 2 dimensions`) {
+		t.Errorf("spec summary wrong:\n%s", specOnly.String())
+	}
+	if strings.Contains(specOnly.String(), "request") {
+		t.Errorf("spec-only inspection mentioned a request:\n%s", specOnly.String())
+	}
+
+	var both bytes.Buffer
+	if err := inspect(specPath, reqPath, &both); err != nil {
+		t.Fatalf("inspect spec+request: %v", err)
+	}
+	for _, want := range []string{"valid against", "preferred level:", "max distance:", "degradation space:"} {
+		if !strings.Contains(both.String(), want) {
+			t.Errorf("request summary missing %q:\n%s", want, both.String())
+		}
+	}
+}
+
+// TestInspectRejectsGarbage covers the error paths: missing file,
+// invalid JSON, and a request that does not validate against the spec.
+func TestInspectRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	if err := inspect(filepath.Join(dir, "missing.json"), "", os.Stdout); err == nil {
+		t.Error("missing spec file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := inspect(bad, "", os.Stdout); err == nil {
+		t.Error("invalid spec JSON accepted")
+	}
+
+	sb, err := qos.EncodeSpec(workload.OffloadSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	offload := filepath.Join(dir, "offload.json")
+	if err := os.WriteFile(offload, sb, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A multimedia request cannot validate against the offload spec.
+	req := workload.SurveillanceRequest()
+	rb, err := qos.EncodeRequest(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mismatched := filepath.Join(dir, "req.json")
+	if err := os.WriteFile(mismatched, rb, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := inspect(offload, mismatched, &out); err == nil {
+		t.Error("mismatched request accepted")
+	}
+}

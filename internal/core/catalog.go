@@ -81,7 +81,7 @@ func (c *Catalog) RegisterService(s *task.Service) error {
 	}
 	c.mu.Unlock()
 	for _, t := range s.Tasks {
-		ref := s.ID + "/" + t.ID
+		ref := t.Ref(s.ID)
 		c.mu.Lock()
 		if _, dup := c.demands[ref]; !dup {
 			c.demands[ref] = t.Demand

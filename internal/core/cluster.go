@@ -239,6 +239,38 @@ func (c *Cluster) RecoverNode(id radio.NodeID) {
 	}
 }
 
+// RebootNode brings a failed node back with amnesia: its provider's
+// reservations, holds and offers are purged before the radio comes up,
+// modeling a device that left the neighbourhood and returned with no
+// coalition state. The churn engine uses this so nodes that missed a
+// Dissolve while off the air do not leak ledger entries forever.
+func (c *Cluster) RebootNode(id radio.NodeID) {
+	if n, ok := c.nodes[id]; ok {
+		n.Provider.Reset()
+	}
+	c.RecoverNode(id)
+}
+
+// RetireService forgets a dissolved organizer so long-running
+// open-system simulations do not grow a node's routing table without
+// bound. Retiring an organizer that is not Dissolved is an error: its
+// timers may still fire and would negotiate against a detached object.
+func (c *Cluster) RetireService(node radio.NodeID, svcID string) error {
+	n, ok := c.nodes[node]
+	if !ok {
+		return fmt.Errorf("core: unknown node %d", node)
+	}
+	o, ok := n.organizers[svcID]
+	if !ok {
+		return nil // already retired
+	}
+	if o.State() != Dissolved {
+		return fmt.Errorf("core: service %q on node %d is %v, not dissolved", svcID, node, o.State())
+	}
+	delete(n.organizers, svcID)
+	return nil
+}
+
 // Run drives the simulation until the horizon (0 = until idle).
 func (c *Cluster) Run(until float64) float64 { return c.Eng.Run(until) }
 

@@ -225,7 +225,7 @@ func (o *Organizer) startRound() {
 		cfp.Tasks = append(cfp.Tasks, proto.TaskDescr{
 			TaskID:    t.ID,
 			Request:   t.Request,
-			DemandRef: o.svc.ID + "/" + t.ID,
+			DemandRef: t.Ref(o.svc.ID),
 			InBytes:   t.InBytes,
 			OutBytes:  t.OutBytes,
 		})
@@ -420,7 +420,7 @@ func (o *Organizer) TryImprove() {
 		cfp.Tasks = append(cfp.Tasks, proto.TaskDescr{
 			TaskID:    t.ID,
 			Request:   t.Request,
-			DemandRef: o.svc.ID + "/" + t.ID,
+			DemandRef: t.Ref(o.svc.ID),
 			InBytes:   t.InBytes,
 			OutBytes:  t.OutBytes,
 		})

@@ -424,6 +424,31 @@ func (p *Provider) ReleaseService(svc string) {
 	}
 }
 
+// Reset drops the provider's entire soft state: every firm reservation,
+// tentative hold, and remembered offer across all services. It models a
+// reboot — a node that left the neighbourhood (churn) and came back has
+// lost its coalition state, so its Resource Managers must not keep
+// stale ledger entries for services whose dissolution it missed while
+// off the air. Counters are kept: they describe the node's history, not
+// its live state.
+func (p *Provider) Reset() {
+	p.mu.Lock()
+	svcs := make(map[string]bool, len(p.services))
+	for s := range p.services {
+		svcs[s] = true
+	}
+	for key := range p.offers {
+		svcs[key.svc] = true
+	}
+	for key := range p.holds {
+		svcs[key.svc] = true
+	}
+	p.mu.Unlock()
+	for s := range svcs {
+		p.ReleaseService(s)
+	}
+}
+
 // RunningTasks returns the service's tasks currently marked running,
 // for assertions in tests and experiments.
 func (p *Provider) RunningTasks(svc string) []string {

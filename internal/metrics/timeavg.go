@@ -1,0 +1,50 @@
+package metrics
+
+// TimeAvg integrates a piecewise-constant signal over simulated time
+// and reports its time-weighted mean. The open-system experiments use
+// it for steady-state quantities that a plain per-event Sample would
+// bias toward busy periods: live-session count, mean QoS distance of
+// the sessions currently operating, and per-resource utilization.
+//
+// Observe(t, v) declares that the signal holds value v from time t
+// until the next observation; Mean(until) closes the last segment at
+// until and returns the average over [firstT, until]. Observations must
+// come with non-decreasing t (the discrete-event clock is monotone); an
+// earlier t is clamped to the latest one seen.
+type TimeAvg struct {
+	started      bool
+	firstT       float64
+	lastT, lastV float64
+	area         float64
+}
+
+// Observe records that the signal takes value v at time t.
+func (a *TimeAvg) Observe(t, v float64) {
+	if !a.started {
+		a.started = true
+		a.firstT, a.lastT, a.lastV = t, t, v
+		return
+	}
+	if t < a.lastT {
+		t = a.lastT
+	}
+	a.area += a.lastV * (t - a.lastT)
+	a.lastT, a.lastV = t, v
+}
+
+// Mean returns the time-weighted average over [firstT, until]. Before
+// any observation it returns 0; with zero elapsed time it returns the
+// last observed value.
+func (a *TimeAvg) Mean(until float64) float64 {
+	if !a.started {
+		return 0
+	}
+	if until < a.lastT {
+		until = a.lastT
+	}
+	span := until - a.firstT
+	if span <= 0 {
+		return a.lastV
+	}
+	return (a.area + a.lastV*(until-a.lastT)) / span
+}

@@ -1,0 +1,47 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTimeAvgPiecewiseConstant(t *testing.T) {
+	var a TimeAvg
+	a.Observe(10, 2) // 2 over [10,20)
+	a.Observe(20, 4) // 4 over [20,40)
+	a.Observe(40, 0) // 0 over [40,50]
+	got := a.Mean(50)
+	want := (2*10 + 4*20 + 0*10) / 40.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Mean(50) = %v, want %v", got, want)
+	}
+}
+
+func TestTimeAvgEdgeCases(t *testing.T) {
+	var empty TimeAvg
+	if got := empty.Mean(100); got != 0 {
+		t.Errorf("empty Mean = %v, want 0", got)
+	}
+
+	var point TimeAvg
+	point.Observe(5, 3)
+	if got := point.Mean(5); got != 3 {
+		t.Errorf("zero-span Mean = %v, want the last value 3", got)
+	}
+	if got := point.Mean(15); got != 3 {
+		t.Errorf("constant-signal Mean = %v, want 3", got)
+	}
+
+	// Out-of-order observations clamp instead of producing negative
+	// segments; Mean before the last observation closes at lastT.
+	var clamp TimeAvg
+	clamp.Observe(10, 1)
+	clamp.Observe(20, 5)
+	clamp.Observe(15, 7) // clamped to t=20
+	if got, want := clamp.Mean(30), (1*10+7*10)/20.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("clamped Mean = %v, want %v", got, want)
+	}
+	if got, want := clamp.Mean(0), (1 * 10 / 10.0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Mean before lastT = %v, want %v", got, want)
+	}
+}

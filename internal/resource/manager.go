@@ -101,7 +101,11 @@ func (b *Bucket) Release(id ReservationID) float64 {
 	}
 	delete(b.ledger, id)
 	b.reserved -= amt
-	if b.reserved < 0 {
+	if b.reserved < 0 || len(b.ledger) == 0 {
+		// An empty ledger means zero usage by definition; snapping to 0
+		// discards the float residue a running sum accumulates across
+		// interleaved reserve/release pairs, so a drained bucket's
+		// available amount returns exactly to its capacity.
 		b.reserved = 0
 	}
 	return amt

@@ -1,0 +1,479 @@
+// Package session turns the one-shot coalition world of the early
+// experiments into an open system: services arrive continuously from a
+// seeded arrival process, negotiate a coalition through a fresh
+// Organizer, operate for a sampled holding time, and depart by
+// dissolving — releasing every reservation — while an optional second
+// event stream churns helper nodes off and back onto the air. The whole
+// lifecycle runs on the cluster's single-threaded virtual clock, and
+// every random draw (arrival times, holding times, churn victims and
+// downtimes) comes from rngs derived from one seed, so a replication
+// reproduces bit-identical steady-state statistics at any parallelism
+// level of the sweep engine above it.
+package session
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/arrival"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/radio"
+	"repro/internal/resource"
+	"repro/internal/task"
+)
+
+// ChurnConfig adds node join/leave churn as a second event stream: at
+// each event of Leave, one unprotected, currently-alive node goes off
+// the air for an exponential downtime, then reboots (provider soft
+// state purged) and rejoins.
+type ChurnConfig struct {
+	// Leave generates node-leave event times.
+	Leave arrival.Process
+	// DownMean is the mean off-air time in seconds.
+	DownMean float64
+}
+
+// Config parameterizes one open-system run.
+type Config struct {
+	// Arrivals generates session arrival times over [0, Horizon).
+	Arrivals arrival.Process
+	// NewService stamps out the seq-th session's service (seq is the
+	// global arrival sequence number, 0-based). Services must have
+	// unique IDs; workload.SessionTemplate.Instantiate is the standard
+	// factory.
+	NewService func(seq int) *task.Service
+	// HoldMean is the mean exponential session holding time (seconds),
+	// measured from admission.
+	HoldMean float64
+	// Horizon is the simulated span; Warmup excludes the initial
+	// transient from every steady-state statistic.
+	Horizon, Warmup float64
+	// Organizers lists the nodes user requests originate at,
+	// round-robin by arrival sequence (default: node 0). Organizer
+	// nodes are protected from churn: a vanished organizer cannot
+	// dissolve its sessions, which is a different failure mode than the
+	// helper churn this engine models.
+	Organizers []radio.NodeID
+	// Organizer configures every session's negotiation organizer.
+	Organizer core.OrganizerConfig
+	// SampleEvery is the steady-state sampling period (default 1s).
+	SampleEvery float64
+	// DepartGrace is how long after a dissolve the radio is given to
+	// deliver the release broadcast before departure hooks run
+	// (default 1s).
+	DepartGrace float64
+	// Churn enables node join/leave churn.
+	Churn *ChurnConfig
+	// AfterDeparture, when set, runs DepartGrace after every session
+	// teardown (departure or admission failure) with the service ID;
+	// the leak-guard tests hang their reservation-ledger detector here.
+	AfterDeparture func(now float64, svcID string)
+}
+
+// Stats is the steady-state outcome of a run. Counters cover sessions
+// arriving at or after Warmup; time averages cover [Warmup, Horizon].
+type Stats struct {
+	// Arrivals, Admitted, Blocked count post-warmup session arrivals
+	// and their admission outcome (admitted = every task assigned on
+	// the first formation attempt; anything less is blocked and torn
+	// down immediately). A formation still in flight when the horizon
+	// falls is censored: it resolves during the drain, tears down
+	// without a verdict, and is excluded from all three counters, so
+	// Admitted + Blocked == Arrivals always holds.
+	Arrivals, Admitted, Blocked int
+	// Departed counts post-warmup-admitted sessions that completed
+	// their holding time and dissolved before the horizon.
+	Departed int
+	// PeakLive is the maximum number of concurrently operating
+	// sessions observed over [Warmup, Horizon].
+	PeakLive int
+	// LiveAvg is the time-averaged number of operating sessions.
+	LiveAvg float64
+	// DistanceAvg is the time-averaged mean QoS distance of live
+	// sessions (sampled every SampleEvery over instants with at least
+	// one live session): the steady-state quality users experience.
+	DistanceAvg float64
+	// Util is the time-averaged per-resource utilization, averaged
+	// over nodes: 1 - available/capacity per kind.
+	Util [resource.NumKinds]float64
+	// Reconfigurations and MemberFailures aggregate the organizers'
+	// operation-phase counters across every session of the whole run.
+	Reconfigurations, MemberFailures int
+	// NodeLeaves counts churn events that took a node off the air.
+	NodeLeaves int
+	// SimEvents is the number of discrete events the engine processed.
+	SimEvents uint64
+}
+
+// AdmissionRatio is Admitted/Arrivals (1 when nothing arrived).
+func (s *Stats) AdmissionRatio() float64 {
+	if s.Arrivals == 0 {
+		return 1
+	}
+	return float64(s.Admitted) / float64(s.Arrivals)
+}
+
+// BlockingRatio is Blocked/Arrivals (0 when nothing arrived).
+func (s *Stats) BlockingRatio() float64 {
+	if s.Arrivals == 0 {
+		return 0
+	}
+	return float64(s.Blocked) / float64(s.Arrivals)
+}
+
+// ReconfigPerHour normalizes the reconfiguration count to simulated
+// hours of horizon.
+func (s *Stats) ReconfigPerHour(horizon float64) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	return float64(s.Reconfigurations) * 3600 / horizon
+}
+
+// liveSession is one operating coalition.
+type liveSession struct {
+	id       string
+	node     radio.NodeID
+	org      *core.Organizer
+	counted  bool // arrived at or after Warmup
+	departed bool
+}
+
+// Engine drives the session lifecycle and churn streams over a built
+// cluster. It is single-use: New, then Run once.
+type Engine struct {
+	cfg Config
+	cl  *core.Cluster
+
+	arriveRng, holdRng, churnRng *rand.Rand
+
+	seq       int
+	live      []*liveSession
+	protected map[radio.NodeID]bool
+	forming   int // submitted sessions whose first formation attempt is still running
+	draining  bool
+	err       error
+
+	stats   Stats
+	liveAvg metrics.TimeAvg
+	utilAvg [resource.NumKinds]metrics.TimeAvg
+	dist    metrics.Sample
+}
+
+// New builds an engine over the cluster. The seed derives the engine's
+// private arrival / holding-time / churn rngs, one per stream, so the
+// draw sequence of each stream is independent of how session outcomes
+// interleave with arrivals.
+func New(cl *core.Cluster, cfg Config, seed int64) (*Engine, error) {
+	if cfg.Arrivals == nil {
+		return nil, fmt.Errorf("session: config needs an arrival process")
+	}
+	if cfg.NewService == nil {
+		return nil, fmt.Errorf("session: config needs a service factory")
+	}
+	if cfg.HoldMean <= 0 {
+		return nil, fmt.Errorf("session: holding-time mean must be positive, got %g", cfg.HoldMean)
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("session: horizon must be positive, got %g", cfg.Horizon)
+	}
+	if cfg.Warmup < 0 || cfg.Warmup >= cfg.Horizon {
+		return nil, fmt.Errorf("session: warmup %g outside [0, horizon %g)", cfg.Warmup, cfg.Horizon)
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 1
+	}
+	if cfg.DepartGrace <= 0 {
+		cfg.DepartGrace = 1
+	}
+	if len(cfg.Organizers) == 0 {
+		cfg.Organizers = []radio.NodeID{0}
+	}
+	if cfg.Churn != nil && (cfg.Churn.Leave == nil || cfg.Churn.DownMean <= 0) {
+		return nil, fmt.Errorf("session: churn config needs a leave process and a positive downtime mean")
+	}
+	e := &Engine{
+		cfg:       cfg,
+		cl:        cl,
+		arriveRng: rand.New(rand.NewSource(seed ^ 0x243f6a8885a308d3)),
+		holdRng:   rand.New(rand.NewSource(seed ^ 0x13198a2e03707344)),
+		churnRng:  rand.New(rand.NewSource(seed ^ 0x0a4093822299f31d)),
+		protected: make(map[radio.NodeID]bool, len(cfg.Organizers)),
+	}
+	for _, id := range cfg.Organizers {
+		if cl.Node(id) == nil {
+			return nil, fmt.Errorf("session: organizer node %d not in cluster", id)
+		}
+		e.protected[id] = true
+	}
+	return e, nil
+}
+
+// Cluster returns the cluster the engine drives, for test assertions.
+func (e *Engine) Cluster() *core.Cluster { return e.cl }
+
+// Run schedules the arrival, churn and sampling streams, drives the
+// simulation to the horizon, then dissolves any sessions still
+// operating and lets their releases propagate. It returns the
+// steady-state statistics over [Warmup, Horizon].
+func (e *Engine) Run() (*Stats, error) {
+	e.scheduleArrival(0)
+	if e.cfg.Churn != nil {
+		e.scheduleChurn(0)
+	}
+	e.cl.Eng.At(e.cfg.Warmup, e.sampleTick)
+	e.cl.Run(e.cfg.Horizon)
+	if e.err != nil {
+		return nil, e.err
+	}
+	e.finalize()
+	// Drain: dissolve sessions still operating so the system ends with
+	// every reservation released, then let the radio deliver. Their
+	// organizer counters flow into the stats through teardown; they do
+	// not count as departures (the horizon cut them short). Formations
+	// still in flight — arrivals just before the horizon — resolve
+	// during the drain and tear down immediately via the draining guard
+	// in onFormed; a formation attempt is bounded by
+	// MaxRounds*(ProposalWait+AckWait), so the deadline loop below
+	// always terminates well inside its iteration budget.
+	e.draining = true
+	for _, ls := range append([]*liveSession(nil), e.live...) {
+		e.depart(ls)
+	}
+	deadline := e.cfg.Horizon
+	for i := 0; e.forming > 0 && i < 64; i++ {
+		deadline += e.cfg.DepartGrace
+		e.cl.Run(deadline)
+	}
+	if e.forming > 0 {
+		return nil, fmt.Errorf("session: %d formation(s) unresolved after drain", e.forming)
+	}
+	e.cl.Run(deadline + 2*e.cfg.DepartGrace)
+	if e.err != nil {
+		return nil, e.err
+	}
+	return &e.stats, nil
+}
+
+// fail records the first error and stops the simulation.
+func (e *Engine) fail(err error) {
+	if e.err == nil {
+		e.err = err
+		e.cl.Eng.Stop()
+	}
+}
+
+// scheduleArrival chains the session arrival stream from the given
+// simulated time.
+func (e *Engine) scheduleArrival(from float64) {
+	next := e.cfg.Arrivals.Next(from, e.arriveRng)
+	if math.IsInf(next, 1) || next >= e.cfg.Horizon {
+		return
+	}
+	e.cl.Eng.At(next, func() {
+		e.onArrival()
+		e.scheduleArrival(next)
+	})
+}
+
+// onArrival spawns a session: instantiate the service, pick the
+// round-robin organizer node, and submit the negotiation.
+func (e *Engine) onArrival() {
+	seq := e.seq
+	e.seq++
+	svc := e.cfg.NewService(seq)
+	node := e.cfg.Organizers[seq%len(e.cfg.Organizers)]
+	now := e.cl.Eng.Now()
+	counted := now >= e.cfg.Warmup
+	if counted {
+		e.stats.Arrivals++
+	}
+	ls := &liveSession{id: svc.ID, node: node, counted: counted}
+	first := true
+	org, err := e.cl.Submit(now, node, svc, e.cfg.Organizer, func(r *core.Result) {
+		if !first {
+			return
+		}
+		first = false
+		e.onFormed(ls, r)
+	})
+	if err != nil {
+		e.fail(fmt.Errorf("session: submit %s: %w", svc.ID, err))
+		return
+	}
+	ls.org = org
+	e.forming++
+}
+
+// onFormed decides admission on the first formation attempt: a session
+// is admitted only when every task was assigned; anything less blocks —
+// the partial coalition is dissolved immediately and its reservations
+// released.
+func (e *Engine) onFormed(ls *liveSession, r *core.Result) {
+	e.forming--
+	if e.draining {
+		// The horizon cut this formation short: no admission verdict,
+		// just teardown so no reservation outlives Run. Uncount the
+		// arrival so the Admitted + Blocked == Arrivals invariant holds.
+		if ls.counted {
+			e.stats.Arrivals--
+		}
+		e.teardown(ls, "horizon reached during formation")
+		return
+	}
+	if r.Complete() {
+		if ls.counted {
+			e.stats.Admitted++
+		}
+		e.live = append(e.live, ls)
+		// PeakLive, like every other steady-state statistic, excludes
+		// the pre-warmup transient.
+		if len(e.live) > e.stats.PeakLive && e.cl.Eng.Now() >= e.cfg.Warmup {
+			e.stats.PeakLive = len(e.live)
+		}
+		e.cl.Eng.After(arrival.Exp(e.holdRng, e.cfg.HoldMean), func() { e.depart(ls) })
+		return
+	}
+	if ls.counted {
+		e.stats.Blocked++
+	}
+	e.teardown(ls, fmt.Sprintf("admission failed: %d/%d tasks assigned", len(r.Assigned), len(r.Assigned)+len(r.Unserved)))
+}
+
+// depart ends an operating session at its holding-time expiry (or at
+// the drain pass). Safe to invoke twice: the drain pass and a
+// still-queued departure timer may both reach a session.
+func (e *Engine) depart(ls *liveSession) {
+	if ls.departed {
+		return
+	}
+	for i, cur := range e.live {
+		if cur == ls {
+			e.live = append(e.live[:i], e.live[i+1:]...)
+			break
+		}
+	}
+	if ls.counted && !e.draining {
+		e.stats.Departed++
+	}
+	e.teardown(ls, "session departure")
+}
+
+// teardown dissolves, retires, and aggregates a session's
+// operation-phase counters. The organizer's Dissolve is idempotent, so
+// the double-invocation paths above stay safe.
+func (e *Engine) teardown(ls *liveSession, reason string) {
+	ls.departed = true
+	e.stats.Reconfigurations += ls.org.Reconfigurations
+	e.stats.MemberFailures += ls.org.Failures
+	ls.org.Dissolve(reason)
+	if err := e.cl.RetireService(ls.node, ls.id); err != nil {
+		e.fail(err)
+		return
+	}
+	if hook := e.cfg.AfterDeparture; hook != nil {
+		id := ls.id
+		e.cl.Eng.After(e.cfg.DepartGrace, func() { hook(e.cl.Eng.Now(), id) })
+	}
+}
+
+// scheduleChurn chains the node-leave stream from the given time.
+func (e *Engine) scheduleChurn(from float64) {
+	next := e.cfg.Churn.Leave.Next(from, e.churnRng)
+	if math.IsInf(next, 1) || next >= e.cfg.Horizon {
+		return
+	}
+	e.cl.Eng.At(next, func() {
+		e.onLeave()
+		e.scheduleChurn(next)
+	})
+}
+
+// onLeave takes one alive, unprotected node off the air and schedules
+// its reboot. Victims are drawn from the ascending node-ID list so the
+// pick is a pure function of the churn rng.
+func (e *Engine) onLeave() {
+	var candidates []radio.NodeID
+	for _, id := range e.cl.Nodes() {
+		if !e.protected[id] && !e.cl.Medium.Down(id) {
+			candidates = append(candidates, id)
+		}
+	}
+	if len(candidates) == 0 {
+		return
+	}
+	victim := candidates[e.churnRng.Intn(len(candidates))]
+	e.cl.FailNode(victim)
+	e.stats.NodeLeaves++
+	e.cl.Eng.After(arrival.Exp(e.churnRng, e.cfg.Churn.DownMean), func() {
+		e.cl.RebootNode(victim)
+	})
+}
+
+// sampleTick accumulates the steady-state signals every SampleEvery
+// seconds over [Warmup, Horizon].
+func (e *Engine) sampleTick() {
+	now := e.cl.Eng.Now()
+	if len(e.live) > e.stats.PeakLive {
+		e.stats.PeakLive = len(e.live)
+	}
+	e.liveAvg.Observe(now, float64(len(e.live)))
+
+	// Mean QoS distance over live sessions (those with at least one
+	// assigned task). Both loops run in fixed orders — live in arrival
+	// order, tasks in declaration order — so the float summation is
+	// deterministic despite the snapshot being a map.
+	var total float64
+	var n int
+	for _, ls := range e.live {
+		snap := ls.org.Snapshot()
+		if len(snap) == 0 {
+			continue
+		}
+		var d float64
+		for _, tk := range ls.org.Service().Tasks {
+			if a, ok := snap[tk.ID]; ok {
+				d += a.Distance
+			}
+		}
+		total += d / float64(len(snap))
+		n++
+	}
+	if n > 0 {
+		e.dist.Add(total / float64(n))
+	}
+
+	// Per-resource utilization averaged over nodes.
+	nodes := e.cl.Nodes()
+	var util resource.Vector
+	for _, id := range nodes {
+		res := e.cl.Node(id).Res
+		cap, avail := res.Capacity(), res.Available()
+		for k := range util {
+			if cap[k] > 0 {
+				util[k] += (cap[k] - avail[k]) / cap[k]
+			}
+		}
+	}
+	for k := range util {
+		e.utilAvg[k].Observe(now, util[k]/float64(len(nodes)))
+	}
+
+	if next := now + e.cfg.SampleEvery; next <= e.cfg.Horizon {
+		e.cl.Eng.At(next, e.sampleTick)
+	}
+}
+
+// finalize closes the time averages at the horizon. Organizer counters
+// are not touched here: teardown is their single accumulation point,
+// and the drain pass tears down whatever is still live.
+func (e *Engine) finalize() {
+	e.stats.LiveAvg = e.liveAvg.Mean(e.cfg.Horizon)
+	e.stats.DistanceAvg = e.dist.Mean()
+	for k := range e.utilAvg {
+		e.stats.Util[k] = e.utilAvg[k].Mean(e.cfg.Horizon)
+	}
+	e.stats.SimEvents = e.cl.Eng.Processed
+}

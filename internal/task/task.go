@@ -28,6 +28,24 @@ type Task struct {
 	// from the executing node; they drive the communication-cost term of
 	// proposal selection.
 	InBytes, OutBytes int64
+	// DemandRef, when set, names the demand model in the shared catalog
+	// instead of the default per-service "service/task" reference. Open
+	// system sessions instantiated from one template set a shared
+	// reference so every provider compiles the (spec, demand) pair once
+	// across thousands of arriving services rather than once per
+	// session. Tasks sharing a reference must share an identical demand
+	// model (the catalog keeps the first registration).
+	DemandRef string
+}
+
+// Ref returns the catalog demand reference of the task within the given
+// service: the shared DemandRef when set, the per-service "svc/task"
+// name otherwise.
+func (t *Task) Ref(svcID string) string {
+	if t.DemandRef != "" {
+		return t.DemandRef
+	}
+	return svcID + "/" + t.ID
 }
 
 // Service is a user-requested service: a set of independent tasks plus

@@ -1,0 +1,41 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/task"
+)
+
+// SessionTemplate stamps out the service instances an open-system run
+// spawns continuously. Every instance shares the template's QoS request
+// and demand model under a shared catalog demand reference
+// ("tmpl:<name>/t<i>"), so a provider compiles the (spec, demand) pair
+// once for the whole run instead of once per arriving session — the
+// difference between a bounded compiled-problem cache and one that
+// grows (and misses) per arrival.
+type SessionTemplate struct {
+	// Name keys the shared request and demand references.
+	Name string
+	// Tasks is the number of independent stream tasks per session.
+	Tasks int
+	// Scale stretches the demand model (1.0 = VideoDemand baseline).
+	Scale float64
+}
+
+// Instantiate builds the seq-th session service. Service IDs embed the
+// sequence number ("<name>-s<seq>") so reservations and protocol
+// traffic of concurrent sessions stay distinct, while demand
+// references and requests are shared template-wide.
+func (st SessionTemplate) Instantiate(seq int) *task.Service {
+	svc := &task.Service{ID: fmt.Sprintf("%s-s%d", st.Name, seq), Spec: VideoSpec()}
+	for i := 0; i < st.Tasks; i++ {
+		svc.Tasks = append(svc.Tasks, &task.Task{
+			ID:        fmt.Sprintf("t%d", i),
+			Request:   StreamingRequest(st.Name),
+			Demand:    VideoDemand(st.Scale),
+			DemandRef: fmt.Sprintf("tmpl:%s/t%d", st.Name, i),
+			InBytes:   24 * 1024, OutBytes: 8 * 1024,
+		})
+	}
+	return svc
+}

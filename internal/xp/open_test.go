@@ -1,0 +1,89 @@
+package xp
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestE17ParallelDeterminism is the open-system half of the sweep
+// engine's core contract: a long-horizon churn simulation, fanned out
+// across workers, renders byte-identical tables at any pool width —
+// every arrival time, holding time and churn victim comes from rngs the
+// replication owns.
+func TestE17ParallelDeterminism(t *testing.T) {
+	tables := map[int]string{}
+	for _, par := range []int{1, 8} {
+		cfg := Config{Seed: 3, Repeats: 2, Quick: true, Parallel: par}
+		tbl, err := E17OfferedLoad(cfg)
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", par, err)
+		}
+		tables[par] = tbl.String()
+	}
+	if tables[1] != tables[8] {
+		t.Errorf("E17 table differs between parallel 1 and 8:\n--- 1 ---\n%s--- 8 ---\n%s", tables[1], tables[8])
+	}
+}
+
+// TestE17LoadMonotonicity: offered load is a real axis — more arrivals
+// per second must not raise the admission ratio, and utilization must
+// not fall (quick config, two load points).
+func TestE17LoadMonotonicity(t *testing.T) {
+	tbl, err := E17OfferedLoad(Config{Seed: 1, Repeats: 2, Quick: true, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 2 {
+		t.Fatalf("expected >= 2 load points, got %d", len(tbl.Rows))
+	}
+	first, last := tbl.Rows[0], tbl.Rows[len(tbl.Rows)-1]
+	// admission column 2 ("97.3%"), cpu-util column 7.
+	adm := func(row []string) float64 {
+		v, err := strconv.ParseFloat(row[2][:len(row[2])-1], 64)
+		if err != nil {
+			t.Fatalf("bad admission cell %q: %v", row[2], err)
+		}
+		return v
+	}
+	util := func(row []string) float64 {
+		v, err := strconv.ParseFloat(row[7], 64)
+		if err != nil {
+			t.Fatalf("bad util cell %q: %v", row[7], err)
+		}
+		return v
+	}
+	if adm(last) > adm(first) {
+		t.Errorf("admission rose with load: %.1f%% at low vs %.1f%% at high", adm(first), adm(last))
+	}
+	if util(last) < util(first) {
+		t.Errorf("cpu utilization fell with load: %.3f at low vs %.3f at high", util(first), util(last))
+	}
+}
+
+// TestE19ChurnCostsReconfigurations: with node churn on, the monitor
+// must detect silent members and renegotiate — the reconfiguration
+// counters separate E19 from a closed world that merely re-runs E17.
+func TestE19ChurnCostsReconfigurations(t *testing.T) {
+	tbl, err := E19CombinedChurn(Config{Seed: 1, Repeats: 2, Quick: true, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, churned := tbl.Rows[0], tbl.Rows[len(tbl.Rows)-1]
+	if base[3] != "0.0" {
+		t.Errorf("no-churn row reports reconfigurations: %v", base)
+	}
+	reconf, err := strconv.ParseFloat(churned[3], 64)
+	if err != nil {
+		t.Fatalf("bad reconf cell %q: %v", churned[3], err)
+	}
+	leaves, err := strconv.ParseFloat(churned[5], 64)
+	if err != nil {
+		t.Fatalf("bad leaves cell %q: %v", churned[5], err)
+	}
+	if leaves == 0 {
+		t.Fatal("churned row saw no node leaves; the sweep exercises nothing")
+	}
+	if reconf == 0 {
+		t.Error("churn produced node leaves but zero reconfigurations; is the monitor wired?")
+	}
+}

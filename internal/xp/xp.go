@@ -83,6 +83,12 @@ func All() []Experiment {
 			Claim: "coalitions can dynamically change the executing quality level (S4)", Run: E15QualityUpgrade},
 		{ID: "E16", Title: "Optimal baseline: branch-and-bound vs exhaustive enumeration",
 			Claim: "pruning, not enumeration, keeps the optimal baseline tractable as populations grow", Run: E16OptimalScaling},
+		{ID: "E17", Title: "Steady-state admission and QoS vs offered load",
+			Claim: "the spontaneous neighbourhood serves a continuous stream of arriving services (S1/S2)", Run: E17OfferedLoad},
+		{ID: "E18", Title: "Arrival shape at equal mean load",
+			Claim: "burstier arrival processes degrade admission at equal mean offered load", Run: E18ArrivalShapes},
+		{ID: "E19", Title: "Combined service and node churn",
+			Claim: "coalitions form, operate and dissolve while both services and devices come and go (S1, S4)", Run: E19CombinedChurn},
 	}
 }
 

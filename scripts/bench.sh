@@ -10,7 +10,8 @@
 #
 # BENCH_PR2.json in the repo root is the first committed point of this
 # trajectory: the same benchmarks captured immediately before and after
-# the PR-2 compiled-hot-path refactor.
+# the PR-2 compiled-hot-path refactor. BENCH_PR3.json is the second
+# point, adding the E17 open-system sweep.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,8 +25,9 @@ run_bench() { # pkg, pattern
 }
 
 # Micro-benchmarks of the three compiled inner loops, their pre-compile
-# counterparts, and the end-to-end E1/E5/E16 sweeps.
-run_bench . 'BenchmarkFormulate$|BenchmarkFormulateOneShot$|BenchmarkFormulateExhaustive$|BenchmarkDistanceEval$|BenchmarkE1AcceptanceVsNodes$|BenchmarkE5HeuristicVsOptimal$|BenchmarkE16OptimalScaling$'
+# counterparts, and the end-to-end E1/E5/E16 sweeps plus the E17
+# open-system (session churn) sweep.
+run_bench . 'BenchmarkFormulate$|BenchmarkFormulateOneShot$|BenchmarkFormulateExhaustive$|BenchmarkDistanceEval$|BenchmarkE1AcceptanceVsNodes$|BenchmarkE5HeuristicVsOptimal$|BenchmarkE16OptimalScaling$|BenchmarkE17OfferedLoad$'
 run_bench ./internal/qos 'BenchmarkDistance$|BenchmarkDistanceCompiled$|BenchmarkReward$|BenchmarkRewardCompiled$|BenchmarkBuildLadder$'
 run_bench ./internal/baseline 'BenchmarkOptimal$|BenchmarkOptimalExhaustive$|BenchmarkOptimalLarge$'
 
