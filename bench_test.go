@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/metrics"
 	"repro/internal/qos"
 	"repro/internal/radio"
@@ -60,6 +61,8 @@ func BenchmarkE16OptimalScaling(b *testing.B)     { benchExperiment(b, xp.E16Opt
 func BenchmarkE17OfferedLoad(b *testing.B)        { benchExperiment(b, xp.E17OfferedLoad) }
 func BenchmarkE18ArrivalShapes(b *testing.B)      { benchExperiment(b, xp.E18ArrivalShapes) }
 func BenchmarkE19CombinedChurn(b *testing.B)      { benchExperiment(b, xp.E19CombinedChurn) }
+func BenchmarkE20ShardScaling(b *testing.B)       { benchExperiment(b, xp.E20ShardScaling) }
+func BenchmarkE21HotspotImbalance(b *testing.B)   { benchExperiment(b, xp.E21HotspotImbalance) }
 
 // BenchmarkSweepParallel runs one full-size replication-heavy
 // experiment at increasing worker-pool widths. Throughput should scale
@@ -80,6 +83,43 @@ func BenchmarkSweepParallel(b *testing.B) {
 					b.Fatal("empty table")
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkCityFabric measures the fabric's weak scaling: every shard
+// carries the same fixed load (2 erlangs on 16 nodes), so an N-shard
+// city simulates N times the work of a single neighbourhood. Because
+// shards are independent deterministic sub-simulations fanned out over
+// the worker pool, wall time should stay near-flat up to the core count
+// while simulated sessions per wall-second — the sessions/s metric —
+// grows near-linearly in the shard count.
+func BenchmarkCityFabric(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cfg := fabric.Config{
+				City: workload.CityScenario{
+					Rows: 1, Cols: shards, NodesPerShard: 16,
+					TotalRate: 0.05 * float64(shards), Profile: workload.CityUniform,
+				},
+				Template:  workload.SessionTemplate{Name: "bench-city", Tasks: 3, Scale: 1.0},
+				HoldMean:  40,
+				Horizon:   300,
+				Warmup:    60,
+				Organizer: core.DefaultOrganizerConfig,
+				Parallel:  runtime.NumCPU(),
+				Seed:      1,
+			}
+			b.ReportAllocs()
+			var sessions int
+			for i := 0; i < b.N; i++ {
+				res, err := fabric.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sessions = res.City.Arrivals
+			}
+			b.ReportMetric(float64(sessions)*float64(b.N)/b.Elapsed().Seconds(), "sessions/s")
 		})
 	}
 }

@@ -10,10 +10,13 @@
 // -parallel fans each experiment's replications and sweep points out
 // across a bounded worker pool; tables are bit-identical at every width
 // because every replication owns a rand.Rand seeded with seed+r and
-// aggregation is ordered. -json additionally writes a machine-readable
-// results document (run metadata, config, and per-experiment wall time)
-// for recording benchmark trajectories across commits; FILE may be "-"
-// for stdout.
+// aggregation is ordered. The city experiments (E20-E21) reuse the same
+// width for the fabric's shard pool one level down — shard s derives
+// every draw from a fixed hash of (seed, s), so their city-wide tables
+// carry the identical guarantee (scripts/determinism.sh enforces it in
+// CI). -json additionally writes a machine-readable results document
+// (run metadata, config, and per-experiment wall time) for recording
+// benchmark trajectories across commits; FILE may be "-" for stdout.
 package main
 
 import (

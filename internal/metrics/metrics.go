@@ -26,6 +26,23 @@ func (s *Sample) Add(x float64) {
 // N returns the number of observations.
 func (s *Sample) N() int { return len(s.xs) }
 
+// Merge folds another sample's observations into s, exactly as if the
+// two observation streams had been concatenated (s first, then other).
+// Every summary query on the merged sample equals the query on the
+// concatenated stream; queries that sort first (quantiles, min, max)
+// are additionally independent of the merge order. This is the
+// sample-stream form of the cross-shard fold contract: the city
+// fabric's production fold (session.Stats.Merge) works on scalar
+// summaries, and the property tests here pin the stream-level
+// semantics that fold relies on.
+func (s *Sample) Merge(other *Sample) {
+	if other == nil || len(other.xs) == 0 {
+		return
+	}
+	s.xs = append(s.xs, other.xs...)
+	s.sorted = false
+}
+
 // Sum returns the sum of observations.
 func (s *Sample) Sum() float64 {
 	var t float64

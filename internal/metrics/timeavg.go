@@ -1,5 +1,7 @@
 package metrics
 
+import "math"
+
 // TimeAvg integrates a piecewise-constant signal over simulated time
 // and reports its time-weighted mean. The open-system experiments use
 // it for steady-state quantities that a plain per-event Sample would
@@ -30,6 +32,31 @@ func (a *TimeAvg) Observe(t, v float64) {
 	}
 	a.area += a.lastV * (t - a.lastT)
 	a.lastT, a.lastV = t, v
+}
+
+// Merge folds another time average into a as the parallel (sum-signal)
+// composition: the merged accumulator integrates a(t) + b(t), where
+// each signal is 0 before its first observation and holds its last
+// value after its last one — the same extension Mean applies. Over one
+// shared observation window the sum-signal mean equals the sum of the
+// per-signal means; that identity, pinned by the property tests here,
+// is why the city fabric's scalar fold (session.Stats.Merge) may
+// simply add per-shard LiveAvg values — every shard observes over the
+// same [warmup, horizon] window. For a pair the fold is commutative
+// (two float additions), and any fixed merge order is deterministic.
+func (a *TimeAvg) Merge(b *TimeAvg) {
+	if b == nil || !b.started {
+		return
+	}
+	if !a.started {
+		*a = *b
+		return
+	}
+	first := math.Min(a.firstT, b.firstT)
+	last := math.Max(a.lastT, b.lastT)
+	a.area += a.lastV*(last-a.lastT) + b.area + b.lastV*(last-b.lastT)
+	a.firstT, a.lastT = first, last
+	a.lastV += b.lastV
 }
 
 // Mean returns the time-weighted average over [firstT, until]. Before

@@ -1,0 +1,54 @@
+// Package par is the one bounded worker pool behind every fan-out in
+// the repository: the sweep runner in internal/xp spreads replications
+// over it, the city fabric spreads neighbourhood shards. It sits at the
+// leaf of the import graph so both layers share a single implementation
+// of the determinism-friendly error contract.
+package par
+
+import "sync"
+
+// Do runs job(0) .. job(n-1), each exactly once, across at most
+// workers goroutines (values <= 1 run sequentially on the calling
+// goroutine), and returns the lowest-index error (nil if every job
+// succeeded). The parallel path runs every job even after a failure so
+// that the returned error does not depend on scheduling; the
+// sequential path can stop at the first error because index order and
+// execution order coincide. Jobs must not share mutable state — the
+// callers hand each job its own seed and rand.Rand, which is what
+// makes results independent of the pool width.
+func Do(n, workers int, job func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = job(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package par
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestDoRunsEveryJob: each index runs exactly once at any pool width,
+// including widths above the job count.
+func TestDoRunsEveryJob(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		var ran [37]int32
+		err := Do(len(ran), workers, func(i int) error {
+			atomic.AddInt32(&ran[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		for i, n := range ran {
+			if n != 1 {
+				t.Fatalf("workers %d: job %d ran %d times", workers, i, n)
+			}
+		}
+	}
+}
+
+// TestDoLowestIndexError pins the error contract the determinism story
+// depends on: the lowest-index failure wins regardless of worker count
+// and scheduling, and the parallel path still runs every job.
+func TestDoLowestIndexError(t *testing.T) {
+	failAt := func(i int) error {
+		if i == 3 || i == 7 {
+			return fmt.Errorf("job %d failed", i)
+		}
+		return nil
+	}
+	for _, workers := range []int{1, 2, 8} {
+		var ran int32
+		err := Do(10, workers, func(i int) error {
+			atomic.AddInt32(&ran, 1)
+			return failAt(i)
+		})
+		if err == nil || err.Error() != "job 3 failed" {
+			t.Fatalf("workers %d: want lowest-index error, got %v", workers, err)
+		}
+		if workers > 1 && ran != 10 {
+			t.Fatalf("workers %d: parallel path ran %d/10 jobs", workers, ran)
+		}
+	}
+}
+
+// TestDoSequentialStopsEarly: the sequential path may stop at the
+// first error because index order and execution order coincide.
+func TestDoSequentialStopsEarly(t *testing.T) {
+	var ran int32
+	err := Do(10, 1, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 2 {
+			return fmt.Errorf("stop")
+		}
+		return nil
+	})
+	if err == nil || ran != 3 {
+		t.Fatalf("sequential path: ran %d jobs, err %v; want 3 jobs and an error", ran, err)
+	}
+}

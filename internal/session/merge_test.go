@@ -1,0 +1,54 @@
+package session
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/resource"
+)
+
+// TestStatsMerge pins the city-fold semantics: counters sum, LiveAvg
+// sums, Util is node-weighted, DistanceAvg is admission-weighted, and a
+// pairwise merge is commutative.
+func TestStatsMerge(t *testing.T) {
+	a := Stats{Arrivals: 10, Admitted: 8, Blocked: 2, Departed: 7,
+		PeakLive: 3, LiveAvg: 1.5, DistanceAvg: 0.2, Nodes: 16, SimEvents: 100}
+	a.Util[resource.CPU] = 0.5
+	b := Stats{Arrivals: 30, Admitted: 24, Blocked: 6, Departed: 20,
+		PeakLive: 5, LiveAvg: 2.5, DistanceAvg: 0.4, Nodes: 8, SimEvents: 50}
+	b.Util[resource.CPU] = 0.2
+
+	m := a
+	m.Merge(&b)
+	if m.Arrivals != 40 || m.Admitted != 32 || m.Blocked != 8 || m.Departed != 27 {
+		t.Fatalf("counters not summed: %+v", m)
+	}
+	if m.PeakLive != 8 || m.LiveAvg != 4.0 || m.Nodes != 24 || m.SimEvents != 150 {
+		t.Fatalf("aggregates wrong: %+v", m)
+	}
+	wantUtil := (0.5*16 + 0.2*8) / 24
+	if math.Abs(m.Util[resource.CPU]-wantUtil) > 1e-15 {
+		t.Fatalf("util not node-weighted: got %g want %g", m.Util[resource.CPU], wantUtil)
+	}
+	wantDist := (0.2*8 + 0.4*24) / 32
+	if math.Abs(m.DistanceAvg-wantDist) > 1e-15 {
+		t.Fatalf("distance not admission-weighted: got %g want %g", m.DistanceAvg, wantDist)
+	}
+	if m.Admitted+m.Blocked != m.Arrivals {
+		t.Fatal("admission invariant broken by merge")
+	}
+
+	n := b
+	n.Merge(&a)
+	if n != m {
+		t.Fatalf("pairwise merge not commutative:\nab: %+v\nba: %+v", m, n)
+	}
+
+	// Zero-admission shards contribute nothing to DistanceAvg.
+	empty := Stats{Nodes: 4}
+	before := m.DistanceAvg
+	m.Merge(&empty)
+	if m.DistanceAvg != before {
+		t.Fatal("empty shard perturbed admission-weighted distance")
+	}
+}

@@ -105,6 +105,10 @@ type Stats struct {
 	NodeLeaves int
 	// SimEvents is the number of discrete events the engine processed.
 	SimEvents uint64
+	// Nodes is the population size of the neighbourhood the stats were
+	// collected over; Merge uses it to node-weight utilization when
+	// folding heterogeneous shards.
+	Nodes int
 }
 
 // AdmissionRatio is Admitted/Arrivals (1 when nothing arrived).
@@ -121,6 +125,42 @@ func (s *Stats) BlockingRatio() float64 {
 		return 0
 	}
 	return float64(s.Blocked) / float64(s.Arrivals)
+}
+
+// Merge folds another neighbourhood's steady-state stats into s,
+// producing city-wide statistics: the two runs are treated as parallel
+// open systems observed over the same [warmup, horizon] window (which
+// is how the fabric engine runs its shards). Counters and SimEvents
+// sum; LiveAvg sums (concurrent sessions across shards add); Util is
+// node-weighted via Nodes; DistanceAvg is admission-weighted (shards
+// with no admitted sessions contribute nothing). PeakLive sums the
+// per-shard peaks, an upper bound on the city-wide peak — the shard
+// peaks need not coincide in time. A pairwise merge is commutative, and
+// the fabric folds shards in ascending shard order, so merged tables
+// are deterministic.
+func (s *Stats) Merge(o *Stats) {
+	// Weighted means first: they need the pre-merge counters as weights.
+	if s.Admitted+o.Admitted > 0 {
+		s.DistanceAvg = (s.DistanceAvg*float64(s.Admitted) + o.DistanceAvg*float64(o.Admitted)) /
+			float64(s.Admitted+o.Admitted)
+	}
+	if s.Nodes+o.Nodes > 0 {
+		for k := range s.Util {
+			s.Util[k] = (s.Util[k]*float64(s.Nodes) + o.Util[k]*float64(o.Nodes)) /
+				float64(s.Nodes+o.Nodes)
+		}
+	}
+	s.Arrivals += o.Arrivals
+	s.Admitted += o.Admitted
+	s.Blocked += o.Blocked
+	s.Departed += o.Departed
+	s.PeakLive += o.PeakLive
+	s.LiveAvg += o.LiveAvg
+	s.Reconfigurations += o.Reconfigurations
+	s.MemberFailures += o.MemberFailures
+	s.NodeLeaves += o.NodeLeaves
+	s.SimEvents += o.SimEvents
+	s.Nodes += o.Nodes
 }
 
 // ReconfigPerHour normalizes the reconfiguration count to simulated
@@ -476,4 +516,5 @@ func (e *Engine) finalize() {
 		e.stats.Util[k] = e.utilAvg[k].Mean(e.cfg.Horizon)
 	}
 	e.stats.SimEvents = e.cl.Eng.Processed
+	e.stats.Nodes = len(e.cl.Nodes())
 }

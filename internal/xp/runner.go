@@ -3,9 +3,9 @@ package xp
 import (
 	"math"
 	"math/rand"
-	"sync"
 
 	"repro/internal/metrics"
+	"repro/internal/par"
 )
 
 // nan marks "no observation" in a replication's metric vector; the
@@ -14,56 +14,19 @@ var nan = math.NaN()
 
 func isNaN(x float64) bool { return math.IsNaN(x) }
 
-// Runner executes independent jobs across a bounded worker pool.
-// Workers is the pool width; values <= 1 run jobs sequentially on the
-// calling goroutine. Jobs must not share mutable state: the sweep layer
-// above hands each replication its own seed and rand.Rand, which is
-// what makes results independent of the pool width.
+// Runner executes independent jobs across the shared bounded worker
+// pool (internal/par). Workers is the pool width; values <= 1 run jobs
+// sequentially on the calling goroutine. Jobs must not share mutable
+// state: the sweep layer above hands each replication its own seed and
+// rand.Rand, which is what makes results independent of the pool width.
 type Runner struct {
 	Workers int
 }
 
 // Do runs job(0) .. job(n-1), each exactly once, and returns the
-// lowest-index error (nil if every job succeeded). The parallel path
-// runs every job even after a failure so that the returned error does
-// not depend on scheduling; the sequential path can stop at the first
-// error because index order and execution order coincide.
+// lowest-index error (nil if every job succeeded) — par.Do's contract.
 func (r Runner) Do(n int, job func(i int) error) error {
-	workers := r.Workers
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := job(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	errs := make([]error, n)
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				errs[i] = job(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return par.Do(n, r.Workers, job)
 }
 
 // Rep identifies one replication of a sweep point and carries its

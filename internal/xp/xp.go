@@ -89,6 +89,10 @@ func All() []Experiment {
 			Claim: "burstier arrival processes degrade admission at equal mean offered load", Run: E18ArrivalShapes},
 		{ID: "E19", Title: "Combined service and node churn",
 			Claim: "coalitions form, operate and dissolve while both services and devices come and go (S1, S4)", Run: E19CombinedChurn},
+		{ID: "E20", Title: "City fabric: shard-count scaling at fixed offered load",
+			Claim: "many spontaneous neighbourhoods coexist across a wide area; capacity scales out with shards (S1)", Run: E20ShardScaling},
+		{ID: "E21", Title: "City fabric: hotspot load imbalance",
+			Claim: "equal mean load does not mean equal quality — skew across neighbourhoods drives city-wide blocking", Run: E21HotspotImbalance},
 	}
 }
 

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# benchgate.sh — perf-regression gate over the repo's key benchmarks:
+#
+#   BenchmarkFormulate                    compiled QoS formulation (PR 2)
+#   BenchmarkDistanceEval                 compiled distance hot loop (PR 2)
+#   BenchmarkOptimal                      branch-and-bound baseline (PR 2)
+#   BenchmarkSweepParallel/workers=1      sweep engine, sequential floor (PR 1)
+#   BenchmarkCityFabric/shards=8          city fabric weak scaling (PR 4)
+#
+# Each benchmark runs COUNT times; the per-benchmark *minimum* ns/op
+# (the least-noisy statistic for a gate) is compared against the
+# committed baseline in scripts/bench_baseline.txt. The gate fails when
+# any benchmark's minimum regresses more than THRESHOLD percent beyond
+# the baseline — a generous noise margin because the baseline machine
+# and the CI runner differ; catastrophic regressions (an accidental
+# O(n^2), a lost cache) blow well past it, honest noise does not.
+# When benchstat is installed, its statistical report is printed too.
+#
+# Usage:
+#   scripts/benchgate.sh            compare against the committed baseline
+#   scripts/benchgate.sh --update   rewrite the baseline from this machine
+#
+# Environment:
+#   BENCHTIME   go test -benchtime per run     (default 0.3s)
+#   COUNT       repetitions per benchmark      (default 5)
+#   THRESHOLD   allowed regression in percent  (default 40)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline="scripts/bench_baseline.txt"
+benchtime="${BENCHTIME:-0.3s}"
+count="${COUNT:-5}"
+threshold="${THRESHOLD:-40}"
+
+run_gate_benchmarks() {
+  go test -run '^$' -benchmem -benchtime "$benchtime" -count "$count" \
+    -bench 'BenchmarkFormulate$|BenchmarkDistanceEval$|BenchmarkSweepParallel/workers=1$|BenchmarkCityFabric/shards=8$' .
+  go test -run '^$' -benchmem -benchtime "$benchtime" -count "$count" \
+    -bench 'BenchmarkOptimal$' ./internal/baseline
+}
+
+if [ "${1:-}" = "--update" ]; then
+  run_gate_benchmarks > "$baseline"
+  echo "benchgate: baseline rewritten at $baseline" >&2
+  exit 0
+fi
+
+if [ ! -f "$baseline" ]; then
+  echo "benchgate: missing baseline $baseline (generate with scripts/benchgate.sh --update)" >&2
+  exit 1
+fi
+
+current="$(mktemp)"
+trap 'rm -f "$current"' EXIT
+run_gate_benchmarks | tee "$current" >&2
+
+if command -v benchstat >/dev/null 2>&1; then
+  echo "--- benchstat old vs new ---" >&2
+  benchstat "$baseline" "$current" >&2 || true
+fi
+
+# Gate decision: per-benchmark min ns/op, new vs baseline.
+awk -v thr="$threshold" '
+function key() { name = $1; sub(/-[0-9]+$/, "", name); return name }
+FNR == 1 { file++ }
+/^Benchmark/ {
+  for (i = 2; i < NF; i++) if ($(i+1) == "ns/op") ns = $i
+  k = key()
+  if (file == 1) { if (!(k in old) || ns < old[k]) old[k] = ns }
+  else           { if (!(k in new) || ns < new[k]) new[k] = ns }
+}
+END {
+  status = 0
+  for (k in old) {
+    if (!(k in new)) { printf "benchgate: %s missing from current run\n", k; status = 1; continue }
+    ratio = new[k] / old[k]
+    verdict = "ok"
+    if (ratio > 1 + thr / 100) { verdict = "REGRESSION"; status = 1 }
+    printf "benchgate: %-40s %12.0f -> %12.0f ns/op  (%+6.1f%%) %s\n", k, old[k], new[k], (ratio - 1) * 100, verdict
+  }
+  for (k in new) if (!(k in old)) printf "benchgate: %-40s new benchmark, no baseline (run --update)\n", k
+  exit status
+}
+' "$baseline" "$current"
+echo "benchgate: PASS (threshold ${threshold}%)" >&2

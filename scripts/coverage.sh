@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# coverage.sh — run the whole test suite with statement coverage, write
+# cover.out (CI uploads it as an artifact), and fail if total coverage
+# drops below the floor. The floor (82%) sits a few points under the
+# measured state at PR 4 (85.6%), so ordinary growth never trips it but
+# a PR that lands a subsystem without tests does.
+#
+# Usage: scripts/coverage.sh [FLOOR_PERCENT] [PROFILE]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+floor="${1:-82}"
+profile="${2:-cover.out}"
+
+go test -coverprofile="$profile" -covermode=atomic ./...
+total="$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')"
+echo "coverage: total ${total}% (floor ${floor}%)"
+awk -v t="$total" -v f="$floor" 'BEGIN { exit (t + 0 >= f + 0) ? 0 : 1 }' || {
+  echo "coverage: total ${total}% fell below the ${floor}% floor" >&2
+  exit 1
+}

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# determinism.sh — assert that qosbench emits byte-identical tables at
+# -parallel 1 and -parallel 8 for the experiments that exercise each
+# layer of the concurrency stack:
+#
+#   E1   the sweep runner (replication fan-out, PR 1)
+#   E17  the open-system session engine under the sweep runner (PR 3)
+#   E20  the city fabric's shard pool nested inside the sweep (PR 4)
+#
+# Usage: scripts/determinism.sh [EXPERIMENT...]   (default: E1 E17 E20)
+#
+# Only wall-clock lines ("elapsed") may differ between widths; any other
+# byte is a determinism regression in a worker pool, an accumulator, or
+# an experiment body drawing randomness outside its replication's rng.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+exps=("$@")
+if [ "${#exps[@]}" -eq 0 ]; then
+  exps=(E1 E17 E20)
+fi
+
+bin="$(mktemp -d)/qosbench"
+trap 'rm -rf "$(dirname "$bin")"' EXIT
+go build -o "$bin" ./cmd/qosbench
+
+status=0
+for e in "${exps[@]}"; do
+  p1="$(dirname "$bin")/$e.p1.txt"
+  p8="$(dirname "$bin")/$e.p8.txt"
+  "$bin" -run "$e" -quick -parallel 1 | grep -v elapsed > "$p1"
+  "$bin" -run "$e" -quick -parallel 8 | grep -v elapsed > "$p8"
+  if diff -u "$p1" "$p8"; then
+    echo "determinism: $e OK (parallel 1 == parallel 8)"
+  else
+    echo "determinism: $e FAILED — table depends on worker-pool width" >&2
+    status=1
+  fi
+done
+exit $status
