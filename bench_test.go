@@ -63,6 +63,9 @@ func BenchmarkE18ArrivalShapes(b *testing.B)      { benchExperiment(b, xp.E18Arr
 func BenchmarkE19CombinedChurn(b *testing.B)      { benchExperiment(b, xp.E19CombinedChurn) }
 func BenchmarkE20ShardScaling(b *testing.B)       { benchExperiment(b, xp.E20ShardScaling) }
 func BenchmarkE21HotspotImbalance(b *testing.B)   { benchExperiment(b, xp.E21HotspotImbalance) }
+func BenchmarkE22AdaptChurn(b *testing.B)         { benchExperiment(b, xp.E22AdaptChurn) }
+func BenchmarkE23UpgradeReclamation(b *testing.B) { benchExperiment(b, xp.E23UpgradeReclamation) }
+func BenchmarkE24CityAdaptation(b *testing.B)     { benchExperiment(b, xp.E24CityAdaptation) }
 
 // BenchmarkSweepParallel runs one full-size replication-heavy
 // experiment at increasing worker-pool widths. Throughput should scale

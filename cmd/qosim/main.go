@@ -8,6 +8,19 @@
 //	      [-mobile] [-loss F] [-fail N] [-verbose]
 //
 // Service kinds: stream (default), surveillance, offload.
+//
+// With -open, qosim instead drives the open-system session lifecycle
+// (continuous arrivals, holding times, departures) to a horizon and
+// prints steady-state statistics:
+//
+//	qosim -open [-rate F] [-hold F] [-horizon F] [-churn F]
+//	      [-adapt off|kill|migrate|degrade]
+//
+// -churn sets node leaves per hour; -adapt picks the mid-session QoS
+// adaptation policy applied when churn orphans a live session's tasks
+// (see internal/adapt). "degrade" additionally enables
+// utilisation-pressure QoS shedding and epoch-driven upgrade
+// reclamation at the engine defaults.
 package main
 
 import (
@@ -18,8 +31,12 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/adapt"
+	"repro/internal/arrival"
 	"repro/internal/core"
 	"repro/internal/qos"
+	"repro/internal/resource"
+	"repro/internal/session"
 	"repro/internal/task"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -37,6 +54,13 @@ type options struct {
 	fail      int
 	verbose   bool
 	showTrace bool
+
+	open    bool
+	rate    float64
+	hold    float64
+	horizon float64
+	churn   float64
+	adapt   string
 }
 
 // parseFlags parses args (without the program name) into options.
@@ -48,20 +72,106 @@ func parseFlags(args []string, errw io.Writer) (*options, error) {
 	fs.IntVar(&o.nodes, "nodes", 12, "population size")
 	fs.IntVar(&o.tasks, "tasks", 4, "tasks in the requested service")
 	fs.Float64Var(&o.scale, "scale", 1.5, "demand scale factor")
-	fs.StringVar(&o.kind, "service", "stream", "service template: stream | surveillance | offload")
-	fs.BoolVar(&o.mobile, "mobile", false, "random-waypoint mobility")
-	fs.Float64Var(&o.loss, "loss", 0, "radio loss probability [0,1)")
-	fs.IntVar(&o.fail, "fail", 0, "kill N coalition members at t=5s")
-	fs.BoolVar(&o.verbose, "verbose", false, "print per-node detail")
-	fs.BoolVar(&o.showTrace, "trace", false, "print the protocol event timeline")
+	fs.StringVar(&o.kind, "service", "stream", "one-shot mode: service template: stream | surveillance | offload")
+	fs.BoolVar(&o.mobile, "mobile", false, "one-shot mode: random-waypoint mobility")
+	fs.Float64Var(&o.loss, "loss", 0, "one-shot mode: radio loss probability [0,1)")
+	fs.IntVar(&o.fail, "fail", 0, "one-shot mode: kill N coalition members at t=5s")
+	fs.BoolVar(&o.verbose, "verbose", false, "one-shot mode: print per-node detail")
+	fs.BoolVar(&o.showTrace, "trace", false, "one-shot mode: print the protocol event timeline")
+	fs.BoolVar(&o.open, "open", false, "run the open-system session lifecycle instead of one formation")
+	fs.Float64Var(&o.rate, "rate", 0.1, "open mode: session arrivals per second")
+	fs.Float64Var(&o.hold, "hold", 40, "open mode: mean session holding time (s)")
+	fs.Float64Var(&o.horizon, "horizon", 600, "open mode: simulated span (s); warmup is horizon/10")
+	fs.Float64Var(&o.churn, "churn", 0, "open mode: node leaves per hour (0 = no churn)")
+	fs.StringVar(&o.adapt, "adapt", "off", "open mode: mid-session QoS adaptation: off | kill | migrate | degrade")
 	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	switch o.adapt {
+	case "off", "kill", "migrate", "degrade":
+	default:
+		err := fmt.Errorf("qosim: unknown -adapt policy %q (off | kill | migrate | degrade)", o.adapt)
+		fmt.Fprintln(errw, err)
 		return nil, err
 	}
 	return o, nil
 }
 
+// runOpen drives the open-system session lifecycle and prints its
+// steady-state report.
+func runOpen(o *options, out io.Writer) error {
+	scfg := workload.DefaultScenario(o.seed)
+	scfg.Nodes = o.nodes
+	// No churn-proof access-point giant: churn and adaptation act on
+	// real coalitions.
+	scfg.Mix = workload.ChurnMix
+	sc, err := workload.Build(scfg)
+	if err != nil {
+		return err
+	}
+	ocfg := core.DefaultOrganizerConfig
+	cfg := session.Config{
+		Arrivals:   arrival.Poisson{Rate: o.rate},
+		NewService: workload.SessionTemplate{Name: "qosim", Tasks: o.tasks, Scale: o.scale}.Instantiate,
+		HoldMean:   o.hold,
+		Horizon:    o.horizon,
+		Warmup:     o.horizon / 10,
+		Organizer:  ocfg,
+	}
+	if o.churn > 0 {
+		cfg.Churn = &session.ChurnConfig{
+			Leave:    arrival.Poisson{Rate: o.churn / 3600},
+			DownMean: 30,
+		}
+	}
+	if o.adapt != "off" {
+		policy := adapt.KillAffected
+		acfg := &adapt.Config{}
+		switch o.adapt {
+		case "migrate":
+			policy = adapt.MigrateExact
+		case "degrade":
+			policy = adapt.DegradeToFit
+			acfg.DegradeOnPressure = true
+			acfg.UpgradeOnSlack = true
+		}
+		acfg.OnChurn = policy
+		cfg.Adapt = acfg
+		// The adaptation engine owns churn repair; keep the protocol
+		// monitor out of its way (DESIGN.md §10).
+		cfg.Organizer.Monitor = false
+		cfg.Organizer.Reconfigure = false
+	}
+	eng, err := session.New(sc.Cluster, cfg, o.seed)
+	if err != nil {
+		return err
+	}
+	st, err := eng.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "open system: %d nodes, %.2f sessions/s, holding %gs, horizon %gs (warmup %gs)\n",
+		o.nodes, o.rate, o.hold, o.horizon, o.horizon/10)
+	fmt.Fprintf(out, "sessions: %d arrivals, %d admitted (%.1f%%), %d blocked, %d departed\n",
+		st.Arrivals, st.Admitted, 100*st.AdmissionRatio(), st.Blocked, st.Departed)
+	fmt.Fprintf(out, "steady state: %.2f live avg (peak %d), QoS distance %.4f, cpu util %.1f%%\n",
+		st.LiveAvg, st.PeakLive, st.DistanceAvg, 100*st.Util[resource.CPU])
+	if o.churn > 0 {
+		fmt.Fprintf(out, "churn: %d node leaves, survival %.1f%%\n", st.NodeLeaves, 100*st.SurvivalRatio())
+	}
+	if o.adapt != "off" {
+		a := st.Adapt
+		fmt.Fprintf(out, "adaptation (%s): %d repairs, %d degrades, %d upgrades, %d kills, drift %.4f\n",
+			o.adapt, a.Repairs, a.Degrades, a.Upgrades, a.Kills, a.MeanDrift())
+	}
+	return nil
+}
+
 // run executes one scenario and prints the report to out.
 func run(o *options, out io.Writer) error {
+	if o.open {
+		return runOpen(o, out)
+	}
 	ring := trace.NewRing(4096)
 	scfg := workload.DefaultScenario(o.seed)
 	scfg.Nodes = o.nodes

@@ -95,3 +95,36 @@ func TestRunDeterministic(t *testing.T) {
 		t.Errorf("same seed rendered different reports:\n--- a ---\n%s--- b ---\n%s", a, b)
 	}
 }
+
+// TestRunOpenMode exercises the open-system lifecycle path with every
+// adaptation policy, plus the -adapt validation.
+func TestRunOpenMode(t *testing.T) {
+	for _, policy := range []string{"off", "kill", "migrate", "degrade"} {
+		var out bytes.Buffer
+		o, err := parseFlags([]string{
+			"-open", "-horizon", "300", "-rate", "0.1", "-tasks", "2", "-scale", "1",
+			"-churn", "240", "-adapt", policy,
+		}, io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := run(o, &out); err != nil {
+			t.Fatalf("-adapt %s: %v\noutput:\n%s", policy, err, out.String())
+		}
+		got := out.String()
+		for _, want := range []string{"open system:", "sessions:", "steady state:", "churn:"} {
+			if !strings.Contains(got, want) {
+				t.Errorf("-adapt %s output missing %q:\n%s", policy, want, got)
+			}
+		}
+		if policy != "off" && !strings.Contains(got, "adaptation ("+policy+")") {
+			t.Errorf("-adapt %s output missing its adaptation report:\n%s", policy, got)
+		}
+		if policy == "off" && strings.Contains(got, "adaptation (") {
+			t.Errorf("-adapt off printed an adaptation report:\n%s", got)
+		}
+	}
+	if _, err := parseFlags([]string{"-open", "-adapt", "bogus"}, io.Discard); err == nil {
+		t.Error("bogus -adapt policy accepted")
+	}
+}

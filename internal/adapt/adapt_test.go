@@ -1,0 +1,215 @@
+package adapt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/radio"
+	"repro/internal/resource"
+	"repro/internal/task"
+	"repro/internal/workload"
+)
+
+// formedSession builds a small static neighbourhood, negotiates one
+// 2-task stream service on it, and returns the cluster plus the
+// operating organizer.
+func formedSession(t *testing.T, seed int64, nodes int) (*core.Cluster, *task.Service, *core.Organizer) {
+	t.Helper()
+	scfg := workload.DefaultScenario(seed)
+	scfg.Nodes = nodes
+	sc, err := workload.Build(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := workload.StreamService("svc", 2, 1.0)
+	var res *core.Result
+	org, err := sc.Cluster.Submit(0, 0, svc, core.DefaultOrganizerConfig, func(r *core.Result) {
+		if res == nil {
+			res = r
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Cluster.Run(10)
+	if res == nil || !res.Complete() {
+		t.Fatalf("formation incomplete: %+v", res)
+	}
+	return sc.Cluster, svc, org
+}
+
+// snapshotAvailable copies every node's available vector.
+func snapshotAvailable(cl *core.Cluster) map[radio.NodeID]resource.Vector {
+	out := make(map[radio.NodeID]resource.Vector)
+	for _, id := range cl.Nodes() {
+		out[id] = cl.Node(id).Res.Available()
+	}
+	return out
+}
+
+// TestDegradeUpgradeRoundTripExact drives the full pressure round trip
+// on a live session: filler load pushes the serving node over UtilHigh,
+// Tick sheds QoS; the filler is released and EpochScan reclaims it. The
+// ledger and the organizer's view must return to the admission state
+// exactly (float64 equality), and a second EpochScan at the same
+// simulated state must be a no-op — adaptation within one epoch is
+// idempotent.
+func TestDegradeUpgradeRoundTripExact(t *testing.T) {
+	cl, svc, org := formedSession(t, 7, 6)
+	// UtilLow sits above the serving node's admission-time utilisation,
+	// so reclamation can climb all the way back; a tighter UtilLow would
+	// correctly stop short (that is the hysteresis working, not a bug).
+	eng, err := New(cl, Config{
+		OnChurn:           DegradeToFit,
+		DegradeOnPressure: true, UtilHigh: 0.9,
+		UpgradeOnSlack: true, UtilLow: 0.8,
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Admit(cl.Eng.Now(), 0, org, true); err != nil {
+		t.Fatal(err)
+	}
+	admitSnap := org.Snapshot()
+	preAvail := snapshotAvailable(cl)
+
+	// Saturate every serving node with filler so Tick finds pressure.
+	serving := make(map[radio.NodeID]bool)
+	for _, a := range admitSnap {
+		serving[a.Node] = true
+	}
+	for id := range serving {
+		res := cl.Node(id).Res
+		avail := res.Available()
+		var filler resource.Vector
+		for k := range avail {
+			filler[k] = avail[k] * 0.9
+		}
+		if err := res.Reserve("filler", filler); err != nil {
+			t.Fatalf("filler on node %d: %v", id, err)
+		}
+	}
+	eng.Tick(cl.Eng.Now())
+	if eng.Stats().Degrades == 0 {
+		t.Fatal("pressure tick applied no degradation")
+	}
+	degraded := org.Snapshot()
+	worse := false
+	for tid, a := range degraded {
+		if a.Distance > admitSnap[tid].Distance {
+			worse = true
+		}
+	}
+	if !worse {
+		t.Fatal("degradation did not raise any task's distance")
+	}
+
+	// Free the filler; the epoch scan must reclaim the exact admission
+	// state.
+	for id := range serving {
+		cl.Node(id).Res.Release("filler")
+	}
+	eng.EpochScan(cl.Eng.Now())
+	restored := org.Snapshot()
+	for _, tk := range svc.Tasks {
+		if restored[tk.ID].Distance != admitSnap[tk.ID].Distance {
+			t.Errorf("task %s: distance %g after round trip, admitted at %g",
+				tk.ID, restored[tk.ID].Distance, admitSnap[tk.ID].Distance)
+		}
+	}
+	for id, want := range preAvail {
+		if got := cl.Node(id).Res.Available(); got != want {
+			t.Errorf("node %d: available %v after round trip, want %v", id, got, want)
+		}
+	}
+
+	// Idempotence: a second scan at the same state changes nothing.
+	upgrades, hist := eng.Stats().Upgrades, len(eng.History(svc.ID))
+	eng.EpochScan(cl.Eng.Now())
+	if eng.Stats().Upgrades != upgrades || len(eng.History(svc.ID)) != hist {
+		t.Errorf("second epoch scan at the same state applied changes: upgrades %d -> %d, events %d -> %d",
+			upgrades, eng.Stats().Upgrades, hist, len(eng.History(svc.ID)))
+	}
+}
+
+// TestForgottenSessionIsNoOp pins the departed-session contract: after
+// Forget, churn repair, pressure ticks and epoch scans must all skip
+// the session without effect.
+func TestForgottenSessionIsNoOp(t *testing.T) {
+	cl, svc, org := formedSession(t, 7, 6)
+	eng, err := New(cl, Config{
+		OnChurn:           DegradeToFit,
+		DegradeOnPressure: true, UtilHigh: 0.0001, // any load is "pressure"
+		UpgradeOnSlack: true, UtilLow: 0.00005,
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Admit(cl.Eng.Now(), 0, org, true); err != nil {
+		t.Fatal(err)
+	}
+	eng.Forget(cl.Eng.Now(), svc.ID)
+	if eng.History(svc.ID) != nil {
+		t.Fatal("history survived Forget")
+	}
+	before := *eng.Stats()
+	snap := org.Snapshot()
+	for _, a := range snap {
+		if a.Node != 0 {
+			cl.FailNode(a.Node)
+		}
+	}
+	if killed := eng.NodeDown(cl.Eng.Now()); len(killed) != 0 {
+		t.Fatalf("NodeDown killed forgotten sessions: %v", killed)
+	}
+	eng.Tick(cl.Eng.Now())
+	eng.EpochScan(cl.Eng.Now())
+	after := *eng.Stats()
+	before.Epochs = after.Epochs // epoch counter ticks regardless of sessions
+	if before != after {
+		t.Errorf("adaptation of a forgotten session changed counters:\nbefore %+v\nafter  %+v", before, after)
+	}
+	if got := org.Snapshot(); len(got) != len(snap) {
+		t.Errorf("forgotten session's assignments changed: %d -> %d", len(snap), len(got))
+	}
+	// Double Forget stays safe.
+	eng.Forget(cl.Eng.Now(), svc.ID)
+}
+
+// TestStatsMergeSums pins the fold semantics: every counter sums.
+func TestStatsMergeSums(t *testing.T) {
+	a := Stats{Triggers: 1, Epochs: 2, Degrades: 3, Upgrades: 4,
+		Repairs: 6, Kills: 7, AdaptedSessions: 8, DriftSum: 0.5, DriftN: 2}
+	b := Stats{Triggers: 10, Epochs: 20, Degrades: 30, Upgrades: 40,
+		Repairs: 60, Kills: 70, AdaptedSessions: 80, DriftSum: 1.5, DriftN: 6}
+	m := a
+	m.Merge(&b)
+	want := Stats{Triggers: 11, Epochs: 22, Degrades: 33, Upgrades: 44,
+		Repairs: 66, Kills: 77, AdaptedSessions: 88, DriftSum: 2.0, DriftN: 8}
+	if m != want {
+		t.Fatalf("merge wrong:\ngot  %+v\nwant %+v", m, want)
+	}
+	if math.Abs(m.MeanDrift()-0.25) > 1e-15 {
+		t.Fatalf("mean drift %g, want 0.25", m.MeanDrift())
+	}
+	n := b
+	n.Merge(&a)
+	if n != m {
+		t.Fatal("merge not commutative")
+	}
+}
+
+// TestConfigValidation rejects inverted hysteresis thresholds.
+func TestConfigValidation(t *testing.T) {
+	bad := Config{DegradeOnPressure: true, UpgradeOnSlack: true, UtilHigh: 0.5, UtilLow: 0.6}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("UtilLow >= UtilHigh accepted")
+	}
+	if _, err := New(nil, bad, 0); err == nil {
+		t.Fatal("New accepted an invalid config")
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+}

@@ -1,0 +1,17 @@
+// Package arrival generates the deterministic, seeded arrival processes
+// behind the open-system experiments: homogeneous Poisson streams,
+// inhomogeneous Poisson streams via thinning (Lewis-Shedler) over
+// pluggable rate profiles (constant, diurnal sinusoid, periodic burst),
+// and a simple on/off Markov-modulated Poisson process. Every draw
+// comes from a caller-supplied *rand.Rand, so a replication that owns
+// its rng reproduces the same arrival sequence bit-for-bit at any
+// parallelism level — the same contract the sweep runner in internal/xp
+// gives every other source of randomness.
+//
+// The session lifecycle engine (internal/session) consumes these
+// processes for both service arrivals and node-churn leave events; the
+// city fabric (internal/fabric) calibrates one per shard so per-shard
+// mean rates always sum to the configured city-wide total. See
+// DESIGN.md §8 for the open-system design and EXPERIMENTS.md E17–E19
+// for the experiments built on it.
+package arrival

@@ -1,0 +1,60 @@
+package core_test
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/resource"
+	"repro/internal/workload"
+)
+
+// ExampleCompiledProblem shows the headline formulation API: compile a
+// (spec, request, demand model) triple once, then run the Section 5
+// degradation heuristic against different nodes' availability on the
+// slot-indexed fast path. A rich node serves the user's preferred
+// levels outright; a starved node forces degradations, and the
+// resource-aware variant picks the ones that actually relieve the
+// bottleneck (DESIGN.md §7).
+func ExampleCompiledProblem() {
+	spec := workload.VideoSpec()
+	req := workload.StreamingRequest("demo")
+	dm := workload.VideoDemand(1.0)
+
+	cp, err := core.CompileProblem(spec, &req, dm, 0, nil)
+	if err != nil {
+		fmt.Println("compile:", err)
+		return
+	}
+
+	rich := resource.NewSet(resource.V(
+		resource.KV{K: resource.CPU, A: 4000}, resource.KV{K: resource.Memory, A: 2048},
+		resource.KV{K: resource.NetBW, A: 20000}, resource.KV{K: resource.Energy, A: 8192},
+		resource.KV{K: resource.Storage, A: 8192}))
+	f, err := cp.Formulate(rich.CanReserve)
+	if err != nil {
+		fmt.Println("rich:", err)
+		return
+	}
+	fmt.Printf("rich node:    %d degradations, distance %.3f\n", f.Degradations, cp.C.Distance(f.Assignment))
+
+	poor := resource.NewSet(resource.V(
+		resource.KV{K: resource.CPU, A: 260}, resource.KV{K: resource.Memory, A: 64},
+		resource.KV{K: resource.NetBW, A: 700}, resource.KV{K: resource.Energy, A: 256},
+		resource.KV{K: resource.Storage, A: 512}))
+	f, err = cp.FormulateResourceAware(poor.CanReserve)
+	if err != nil {
+		fmt.Println("poor:", err)
+		return
+	}
+	fmt.Printf("starved node: %d degradations, distance %.3f\n", f.Degradations, cp.C.Distance(f.Assignment))
+
+	empty := resource.NewSet(resource.Vector{})
+	_, err = cp.Formulate(empty.CanReserve)
+	fmt.Println("empty node exhausts the ladder:", errors.Is(err, core.ErrNoFeasibleLevel))
+
+	// Output:
+	// rich node:    0 degradations, distance 0.000
+	// starved node: 9 degradations, distance 0.940
+	// empty node exhausts the ladder: true
+}

@@ -89,6 +89,25 @@ func (cp *CompiledProblem) demand(a qos.Assignment) (resource.Vector, error) {
 	return cp.dm.Demand(cp.Spec, cp.Ladder.Level(a))
 }
 
+// DemandAt evaluates the demand of an arbitrary assignment over the
+// compiled problem: slot-indexed when the demand model compiled,
+// level-by-level otherwise. The mid-session adaptation engine prices
+// degrade and upgrade steps with it before touching any reservation.
+func (cp *CompiledProblem) DemandAt(a qos.Assignment) (resource.Vector, error) {
+	return cp.demand(a)
+}
+
+// NextDegradation exposes one step of the Section 5 walk: the attribute
+// whose next degradation loses the least local reward from assignment a,
+// or ok=false when the ladder is exhausted. Callers that apply the step
+// (a[i]++) and iterate retrace exactly the degradation path Formulate
+// walks, which is what lets the adaptation engine's in-place degradations
+// share the path-derived distance ordering of the branch-and-bound
+// bounds.
+func (cp *CompiledProblem) NextDegradation(a qos.Assignment) (i int, ok bool) {
+	return cp.cheapestDegradation(a)
+}
+
 // finish packages the accepted assignment as a Formulation, paying the
 // single Level materialization of the whole formulate call.
 func (cp *CompiledProblem) finish(a qos.Assignment, demand resource.Vector, degradations int) *Formulation {

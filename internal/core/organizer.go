@@ -12,6 +12,12 @@ import (
 	"repro/internal/trace"
 )
 
+// MaxCommCost is the communication-cost ceiling above which a node is
+// treated as effectively unreachable: proposal admission discards such
+// offers, and the adaptation engine refuses to migrate tasks there, so
+// negotiation and repair always agree on reachability.
+const MaxCommCost = 1e17
+
 // OrganizerConfig tunes the Negotiation Organizer.
 type OrganizerConfig struct {
 	// ProposalWait is how long (seconds) the organizer collects
@@ -304,7 +310,7 @@ func (o *Organizer) onProposal(from radio.NodeID, m *proto.Proposal) {
 			continue // not admissible: the paper evaluates admissible proposals only
 		}
 		cost := o.tr.CommCost(from, t.DataBytes())
-		if cost != cost || cost > 1e17 { // NaN or effectively unreachable
+		if cost != cost || cost > MaxCommCost { // NaN or effectively unreachable
 			continue
 		}
 		o.cands[tp.TaskID] = append(o.cands[tp.TaskID], Candidate{
@@ -638,6 +644,31 @@ func (o *Organizer) Dissolve(reason string) {
 	m := &proto.Dissolve{ServiceID: svcID, Reason: reason}
 	o.tr.Broadcast(m)
 	o.tr.Send(o.tr.Self(), m)
+}
+
+// ApplyAdaptation installs an externally renegotiated allocation for one
+// currently assigned task: the mid-session adaptation engine
+// (internal/adapt) re-runs the compiled formulation over live sessions
+// and publishes the outcome here so that monitoring, sampling and
+// departure statistics all see the session's *current* QoS, not its
+// admission-time level. It is a no-op (returning false) unless the
+// coalition is operating and the task is assigned — an adaptation racing
+// a dissolve or a renegotiation round must lose.
+func (o *Organizer) ApplyAdaptation(taskID string, a Assignment3) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.state != Operating {
+		return false
+	}
+	if _, ok := o.assigned[taskID]; !ok {
+		return false
+	}
+	o.assigned[taskID] = a
+	// The (possibly new) serving node is live by construction; refresh
+	// its liveness stamp so an enabled monitor does not instantly declare
+	// a freshly migrated member silent.
+	o.lastHB[a.Node] = o.tm.Now()
+	return true
 }
 
 // Assignment returns the current allocation of a task, if any.

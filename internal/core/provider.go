@@ -335,14 +335,22 @@ func (p *Provider) onTaskData(from radio.NodeID, m *proto.TaskData) {
 		return
 	}
 	st.running[m.TaskID] = true
-	start := p.cfg.HeartbeatEvery > 0 && !st.hbActive
-	if start {
-		st.hbActive = true
-	}
+	start := p.armHeartbeatLocked(st)
 	p.mu.Unlock()
 	if start {
 		p.heartbeatLoop(m.ServiceID)
 	}
+}
+
+// armHeartbeatLocked marks the service's heartbeat loop active if it
+// should start; the caller must hold p.mu and, on true, call
+// heartbeatLoop after unlocking.
+func (p *Provider) armHeartbeatLocked(st *serviceState) bool {
+	if p.cfg.HeartbeatEvery <= 0 || st.hbActive {
+		return false
+	}
+	st.hbActive = true
+	return true
 }
 
 func (p *Provider) heartbeatLoop(svc string) {
@@ -384,6 +392,81 @@ func (p *Provider) onTaskRelease(_ radio.NodeID, m *proto.TaskRelease) {
 	if ok {
 		p.Res.Release(id)
 		p.emit("release", fmt.Sprintf("service %s task %s: %s", m.ServiceID, m.TaskID, m.Reason))
+	}
+}
+
+// AdoptReservation installs a firm reservation for one task as if an
+// award had been accepted: the adaptation engine's direct re-placement
+// path, used when a live session's task migrates to this node outside a
+// protocol round. The reservation joins the provider's per-service state,
+// so dissolution, release and reboot flows treat it exactly like an
+// award-time reservation; the task is marked running so heartbeats flow
+// to the organizer. Fails without side effects when the demand does not
+// fit the node's free capacity.
+func (p *Provider) AdoptReservation(org radio.NodeID, svc, tid string, demand resource.Vector) error {
+	id := resource.ReservationID(svc + "/" + tid)
+	if err := p.Res.Reserve(id, demand); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	st := p.serviceStateLocked(svc)
+	st.organizer = org
+	st.reservations[tid] = id
+	st.running[tid] = true
+	start := p.armHeartbeatLocked(st)
+	p.mu.Unlock()
+	if start {
+		p.heartbeatLoop(svc)
+	}
+	p.emit("adopt", fmt.Sprintf("service %s task %s: adopted at demand %v", svc, tid, demand))
+	return nil
+}
+
+// ResizeReservation swaps one task's firm reservation for the same task
+// at a new demand — a mid-session degrade (smaller demand) or upgrade
+// (larger demand). The swap is exact: the old reservation is released
+// and the new one placed under the same ID within one event, and on an
+// upgrade that no longer fits the old reservation is restored, so the
+// ledger never drifts whatever the outcome.
+func (p *Provider) ResizeReservation(svc, tid string, demand resource.Vector) error {
+	p.mu.Lock()
+	st, ok := p.services[svc]
+	var id resource.ReservationID
+	if ok {
+		id, ok = st.reservations[tid]
+	}
+	p.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: node %d holds no reservation for %s/%s", p.ID, svc, tid)
+	}
+	old := p.Res.Release(id)
+	if err := p.Res.Reserve(id, demand); err != nil {
+		if rerr := p.Res.Reserve(id, old); rerr != nil {
+			return fmt.Errorf("core: resize rollback failed on node %d for %s/%s: %v (after %w)", p.ID, svc, tid, rerr, err)
+		}
+		return err
+	}
+	return nil
+}
+
+// DropTask releases one task's reservation and state directly, without a
+// TaskRelease message: the adaptation engine cleans a failed node's
+// ledger this way, since no protocol message can reach a node that is
+// off the air. A missing reservation is a no-op.
+func (p *Provider) DropTask(svc, tid string) {
+	p.mu.Lock()
+	st, ok := p.services[svc]
+	var id resource.ReservationID
+	if ok {
+		id, ok = st.reservations[tid]
+		if ok {
+			delete(st.reservations, tid)
+			delete(st.running, tid)
+		}
+	}
+	p.mu.Unlock()
+	if ok {
+		p.Res.Release(id)
 	}
 }
 

@@ -1,0 +1,16 @@
+// Package fabric scales the open-system simulation out from one
+// spontaneous neighbourhood to a city: a grid of neighbourhood shards,
+// each an independent single-hop cluster running the full session
+// lifecycle (arrival, negotiation, holding, dissolve, node churn, and —
+// when configured — mid-session QoS adaptation) on its own virtual
+// clock. Shards never interact over the air — the grid pitch exceeds
+// the radio range by construction — so the fabric can fan them out
+// across a bounded worker pool (internal/par) and still produce
+// bit-identical city-wide tables at any parallelism level: shard s
+// always derives every random draw from a fixed hash of (Seed, s),
+// each shard's result lands in its own slot, and the cross-shard merge
+// folds slots in ascending shard order after the fan-in. This is the
+// same determinism contract the sweep runner in internal/xp gives per
+// replication, applied one level up. See DESIGN.md §9 for the sharding
+// design and the merge semantics of session.Stats.
+package fabric

@@ -1,0 +1,46 @@
+package fabric_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/workload"
+)
+
+// ExampleRun is the headline city-scale API: lay out a grid of
+// independent neighbourhood shards, drive the full open-system session
+// lifecycle in each, and fold the shards into one city-wide view. The
+// result is a pure function of the configuration — any Parallel width
+// produces these exact numbers, which is why the output below can be
+// pinned at all (DESIGN.md §9).
+func ExampleRun() {
+	res, err := fabric.Run(fabric.Config{
+		City: workload.CityScenario{
+			Rows: 1, Cols: 2, NodesPerShard: 8,
+			TotalRate: 0.1, Profile: workload.CityUniform,
+		},
+		Template:  workload.SessionTemplate{Name: "example", Tasks: 2, Scale: 1.0},
+		HoldMean:  30,
+		Horizon:   240,
+		Warmup:    40,
+		Organizer: core.DefaultOrganizerConfig,
+		Parallel:  2,
+		Seed:      1,
+	})
+	if err != nil {
+		fmt.Println("run:", err)
+		return
+	}
+	for _, sh := range res.Shards {
+		fmt.Printf("shard %d (row %d, col %d): %d arrivals, %d admitted\n",
+			sh.Shard, sh.Row, sh.Col, sh.Stats.Arrivals, sh.Stats.Admitted)
+	}
+	fmt.Printf("city: %d arrivals, admission %.0f%%, %d nodes\n",
+		res.City.Arrivals, 100*res.City.AdmissionRatio(), res.City.Nodes)
+
+	// Output:
+	// shard 0 (row 0, col 0): 12 arrivals, 12 admitted
+	// shard 1 (row 0, col 1): 8 arrivals, 8 admitted
+	// city: 20 arrivals, admission 100%, 16 nodes
+}

@@ -1,21 +1,9 @@
-// Package fabric scales the open-system simulation out from one
-// spontaneous neighbourhood to a city: a grid of neighbourhood shards,
-// each an independent single-hop cluster running the full session
-// lifecycle (arrival, negotiation, holding, dissolve, node churn) on
-// its own virtual clock. Shards never interact over the air — the grid
-// pitch exceeds the radio range by construction — so the fabric can
-// fan them out across a bounded worker pool and still produce
-// bit-identical city-wide tables at any parallelism level: shard s
-// always derives every random draw from a fixed hash of (Seed, s),
-// each shard's result lands in its own slot, and the cross-shard merge
-// folds slots in ascending shard order after the fan-in. This is the
-// same determinism contract the sweep runner in internal/xp gives per
-// replication, applied one level up.
 package fabric
 
 import (
 	"fmt"
 
+	"repro/internal/adapt"
 	"repro/internal/arrival"
 	"repro/internal/core"
 	"repro/internal/par"
@@ -42,6 +30,10 @@ type Config struct {
 	// shard at the given rate (leaves per hour per shard); victims
 	// rejoin after an exponential downtime of ChurnDownMean seconds.
 	ChurnPerHour, ChurnDownMean float64
+	// Adapt, when set, runs the mid-session QoS adaptation engine
+	// inside every shard; the city merge folds the per-shard adaptation
+	// counters alongside the rest of session.Stats.
+	Adapt *adapt.Config
 	// Parallel is the worker-pool width shards fan out over (<= 1 runs
 	// them sequentially). Results are identical at every width.
 	Parallel int
@@ -147,6 +139,7 @@ func runShard(cfg Config, shard int) (*session.Stats, error) {
 		Horizon:    cfg.Horizon,
 		Warmup:     cfg.Warmup,
 		Organizer:  cfg.Organizer,
+		Adapt:      cfg.Adapt,
 	}
 	if cfg.ChurnPerHour > 0 {
 		scfg.Churn = &session.ChurnConfig{

@@ -1,0 +1,11 @@
+// Package par is the one bounded worker pool behind every fan-out in
+// the repository: the sweep runner in internal/xp spreads replications
+// over it, the city fabric (internal/fabric) spreads neighbourhood
+// shards. It sits at the leaf of the import graph so both layers share
+// a single implementation of the determinism-friendly error contract:
+// Do runs each job exactly once, results land in caller-owned slots,
+// and the lowest-index error wins — which is what lets every consumer
+// produce bit-identical output at any pool width. See DESIGN.md §9
+// (the city fabric) for how the contract composes across nested
+// fan-outs.
+package par

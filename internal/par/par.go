@@ -1,8 +1,3 @@
-// Package par is the one bounded worker pool behind every fan-out in
-// the repository: the sweep runner in internal/xp spreads replications
-// over it, the city fabric spreads neighbourhood shards. It sits at the
-// leaf of the import graph so both layers share a single implementation
-// of the determinism-friendly error contract.
 package par
 
 import "sync"

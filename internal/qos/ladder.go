@@ -148,6 +148,36 @@ func (ld *Ladder) Level(a Assignment) Level {
 	return l
 }
 
+// AssignmentOf inverts Level: it locates each attribute's value in the
+// ladder's candidate list and returns the corresponding choice indices.
+// It fails when the level misses a laddered attribute or carries a value
+// the ladder does not contain — a level produced by Level(a) over the
+// same ladder always round-trips exactly. The mid-session adaptation
+// engine uses this to re-anchor an admission-time level (a map, the
+// protocol's boundary type) onto the slot-indexed fast path.
+func (ld *Ladder) AssignmentOf(l Level) (Assignment, error) {
+	a := make(Assignment, len(ld.Attrs))
+	for i := range ld.Attrs {
+		la := &ld.Attrs[i]
+		v, ok := l[la.Key]
+		if !ok {
+			return nil, fmt.Errorf("qos: ladder: level carries no value for attribute %v", la.Key)
+		}
+		found := false
+		for ci, c := range la.Choices {
+			if c.Equal(v) {
+				a[i] = ci
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("qos: ladder: value %v for attribute %v is not a ladder candidate", v, la.Key)
+		}
+	}
+	return a, nil
+}
+
 // CanDegrade reports whether attribute i has a further degradation step.
 func (ld *Ladder) CanDegrade(a Assignment, i int) bool {
 	return a[i]+1 < len(ld.Attrs[i].Choices)

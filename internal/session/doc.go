@@ -1,0 +1,20 @@
+// Package session turns the one-shot coalition world of the early
+// experiments into an open system: services arrive continuously from a
+// seeded arrival process, negotiate a coalition through a fresh
+// Organizer, operate for a sampled holding time, and depart by
+// dissolving — releasing every reservation — while an optional second
+// event stream churns helper nodes off and back onto the air. The whole
+// lifecycle runs on the cluster's single-threaded virtual clock, and
+// every random draw (arrival times, holding times, churn victims and
+// downtimes) comes from rngs derived from one seed, so a replication
+// reproduces bit-identical steady-state statistics at any parallelism
+// level of the sweep engine above it. See DESIGN.md §8 for the
+// lifecycle design and the admission/draining semantics.
+//
+// With Config.Adapt set, the engine additionally drives the mid-session
+// QoS adaptation engine (internal/adapt): admitted sessions register on
+// admission, churn events trigger repair per the configured policy
+// (kill, migrate, or degrade-to-fit), utilisation pressure sheds QoS
+// and epoch scans reclaim it, and the resulting counters land in
+// Stats.Adapt (DESIGN.md §10).
+package session

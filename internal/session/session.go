@@ -1,14 +1,3 @@
-// Package session turns the one-shot coalition world of the early
-// experiments into an open system: services arrive continuously from a
-// seeded arrival process, negotiate a coalition through a fresh
-// Organizer, operate for a sampled holding time, and depart by
-// dissolving — releasing every reservation — while an optional second
-// event stream churns helper nodes off and back onto the air. The whole
-// lifecycle runs on the cluster's single-threaded virtual clock, and
-// every random draw (arrival times, holding times, churn victims and
-// downtimes) comes from rngs derived from one seed, so a replication
-// reproduces bit-identical steady-state statistics at any parallelism
-// level of the sweep engine above it.
 package session
 
 import (
@@ -16,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/adapt"
 	"repro/internal/arrival"
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -66,6 +56,15 @@ type Config struct {
 	DepartGrace float64
 	// Churn enables node join/leave churn.
 	Churn *ChurnConfig
+	// Adapt, when set, runs the mid-session QoS adaptation engine
+	// (internal/adapt) over the live sessions: churn repair per its
+	// ChurnPolicy, utilisation-pressure degradation and epoch-driven
+	// upgrade reclamation. nil keeps the fixed-QoS lifecycle, where an
+	// admitted session holds its admission-time levels until departure.
+	// Run the organizer with Monitor/Reconfigure off when adaptation
+	// owns churn repair: exactly one layer should renegotiate a lost
+	// member (see DESIGN.md §10).
+	Adapt *adapt.Config
 	// AfterDeparture, when set, runs DepartGrace after every session
 	// teardown (departure or admission failure) with the service ID;
 	// the leak-guard tests hang their reservation-ledger detector here.
@@ -103,6 +102,9 @@ type Stats struct {
 	Reconfigurations, MemberFailures int
 	// NodeLeaves counts churn events that took a node off the air.
 	NodeLeaves int
+	// Adapt aggregates the adaptation engine's counters and per-session
+	// histories (zero when Config.Adapt is nil).
+	Adapt adapt.Stats
 	// SimEvents is the number of discrete events the engine processed.
 	SimEvents uint64
 	// Nodes is the population size of the neighbourhood the stats were
@@ -125,6 +127,17 @@ func (s *Stats) BlockingRatio() float64 {
 		return 0
 	}
 	return float64(s.Blocked) / float64(s.Arrivals)
+}
+
+// SurvivalRatio is the fraction of admitted sessions the adaptation
+// engine did not kill: (Admitted - Adapt.Kills)/Admitted (1 when
+// nothing was admitted). Without adaptation every admitted session
+// survives to its holding-time expiry and the ratio is 1.
+func (s *Stats) SurvivalRatio() float64 {
+	if s.Admitted == 0 {
+		return 1
+	}
+	return float64(s.Admitted-s.Adapt.Kills) / float64(s.Admitted)
 }
 
 // Merge folds another neighbourhood's steady-state stats into s,
@@ -161,6 +174,7 @@ func (s *Stats) Merge(o *Stats) {
 	s.NodeLeaves += o.NodeLeaves
 	s.SimEvents += o.SimEvents
 	s.Nodes += o.Nodes
+	s.Adapt.Merge(&o.Adapt)
 }
 
 // ReconfigPerHour normalizes the reconfiguration count to simulated
@@ -188,6 +202,8 @@ type Engine struct {
 	cl  *core.Cluster
 
 	arriveRng, holdRng, churnRng *rand.Rand
+
+	ad *adapt.Engine
 
 	seq       int
 	live      []*liveSession
@@ -248,8 +264,26 @@ func New(cl *core.Cluster, cfg Config, seed int64) (*Engine, error) {
 		}
 		e.protected[id] = true
 	}
+	if cfg.Adapt != nil {
+		// Exactly one layer renegotiates a lost member (DESIGN.md §10):
+		// the protocol monitor and the adaptation engine repairing the
+		// same session would desynchronize silently, so mixing them is
+		// a configuration error, not a preference.
+		if cfg.Organizer.Monitor || cfg.Organizer.Reconfigure {
+			return nil, fmt.Errorf("session: adaptation owns churn repair; disable Organizer.Monitor and Organizer.Reconfigure when Config.Adapt is set")
+		}
+		ad, err := adapt.New(cl, *cfg.Adapt, cfg.Warmup)
+		if err != nil {
+			return nil, err
+		}
+		e.ad = ad
+	}
 	return e, nil
 }
+
+// Adapter returns the run's adaptation engine (nil without Config.Adapt),
+// for test assertions and CLI reporting.
+func (e *Engine) Adapter() *adapt.Engine { return e.ad }
 
 // Cluster returns the cluster the engine drives, for test assertions.
 func (e *Engine) Cluster() *core.Cluster { return e.cl }
@@ -262,6 +296,9 @@ func (e *Engine) Run() (*Stats, error) {
 	e.scheduleArrival(0)
 	if e.cfg.Churn != nil {
 		e.scheduleChurn(0)
+	}
+	if e.ad != nil {
+		e.scheduleAdapt()
 	}
 	e.cl.Eng.At(e.cfg.Warmup, e.sampleTick)
 	e.cl.Run(e.cfg.Horizon)
@@ -293,6 +330,12 @@ func (e *Engine) Run() (*Stats, error) {
 	e.cl.Run(deadline + 2*e.cfg.DepartGrace)
 	if e.err != nil {
 		return nil, e.err
+	}
+	// Snapshot the adaptation counters only after the drain: sessions
+	// still live at the horizon record their distance drift during the
+	// drain teardown.
+	if e.ad != nil {
+		e.stats.Adapt = *e.ad.Stats()
 	}
 	return &e.stats, nil
 }
@@ -368,6 +411,12 @@ func (e *Engine) onFormed(ls *liveSession, r *core.Result) {
 			e.stats.Admitted++
 		}
 		e.live = append(e.live, ls)
+		if e.ad != nil {
+			if err := e.ad.Admit(e.cl.Eng.Now(), ls.node, ls.org, ls.counted); err != nil {
+				e.fail(err)
+				return
+			}
+		}
 		// PeakLive, like every other steady-state statistic, excludes
 		// the pre-warmup transient.
 		if len(e.live) > e.stats.PeakLive && e.cl.Eng.Now() >= e.cfg.Warmup {
@@ -401,11 +450,29 @@ func (e *Engine) depart(ls *liveSession) {
 	e.teardown(ls, "session departure")
 }
 
+// kill tears down a session the adaptation engine declared dead
+// (churn policy, or an orphaned task no node could host). Killed
+// sessions count neither as departures nor as blocks — adapt.Stats.Kills
+// carries them, and SurvivalRatio reads them back out.
+func (e *Engine) kill(svcID string) {
+	for i, ls := range e.live {
+		if ls.id != svcID {
+			continue
+		}
+		e.live = append(e.live[:i], e.live[i+1:]...)
+		e.teardown(ls, "session killed: coalition member lost to churn")
+		return
+	}
+}
+
 // teardown dissolves, retires, and aggregates a session's
 // operation-phase counters. The organizer's Dissolve is idempotent, so
 // the double-invocation paths above stay safe.
 func (e *Engine) teardown(ls *liveSession, reason string) {
 	ls.departed = true
+	if e.ad != nil {
+		e.ad.Forget(e.cl.Eng.Now(), ls.id)
+	}
 	e.stats.Reconfigurations += ls.org.Reconfigurations
 	e.stats.MemberFailures += ls.org.Failures
 	ls.org.Dissolve(reason)
@@ -447,9 +514,46 @@ func (e *Engine) onLeave() {
 	victim := candidates[e.churnRng.Intn(len(candidates))]
 	e.cl.FailNode(victim)
 	e.stats.NodeLeaves++
+	if e.ad != nil {
+		for _, svcID := range e.ad.NodeDown(e.cl.Eng.Now()) {
+			e.kill(svcID)
+		}
+	}
 	e.cl.Eng.After(arrival.Exp(e.churnRng, e.cfg.Churn.DownMean), func() {
 		e.cl.RebootNode(victim)
 	})
+}
+
+// scheduleAdapt chains the adaptation engine's clock-driven triggers:
+// the utilisation-pressure check every PressureEvery seconds and the
+// upgrade-reclamation scan every Epoch seconds, both from time 0 to the
+// horizon. Churn repair is event-driven from onLeave instead.
+func (e *Engine) scheduleAdapt() {
+	cfg := e.ad.Config()
+	if cfg.DegradeOnPressure && cfg.PressureEvery < e.cfg.Horizon {
+		var tick func()
+		next := cfg.PressureEvery
+		tick = func() {
+			e.ad.Tick(e.cl.Eng.Now())
+			next += cfg.PressureEvery
+			if next < e.cfg.Horizon {
+				e.cl.Eng.At(next, tick)
+			}
+		}
+		e.cl.Eng.At(next, tick)
+	}
+	if cfg.UpgradeOnSlack && cfg.Epoch < e.cfg.Horizon {
+		var scan func()
+		next := cfg.Epoch
+		scan = func() {
+			e.ad.EpochScan(e.cl.Eng.Now())
+			next += cfg.Epoch
+			if next < e.cfg.Horizon {
+				e.cl.Eng.At(next, scan)
+			}
+		}
+		e.cl.Eng.At(next, scan)
+	}
 }
 
 // sampleTick accumulates the steady-state signals every SampleEvery

@@ -1,0 +1,16 @@
+// Package workload generates the synthetic populations and services the
+// experiments run on: heterogeneous device profiles (the paper's phones,
+// PDAs and laptops), multimedia service templates built from the paper's
+// own examples (video streaming Section 3, remote surveillance Section
+// 3.1, computation offloading Sections 1/7), and seeded scenario
+// generators.
+//
+// Two generators matter beyond single-shot experiments: SessionTemplate
+// stamps out the continuously arriving services of the open system
+// (sharing catalog demand references so providers compile each
+// (spec, demand) pair once per run — DESIGN.md §8), and CityScenario
+// lays out the shard grid of the city fabric, calibrating per-shard
+// arrival rates under uniform, hotspot or phase-shifted diurnal load
+// profiles so the per-shard means always sum to the configured
+// city-wide total (DESIGN.md §9).
+package workload

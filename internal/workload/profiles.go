@@ -1,9 +1,3 @@
-// Package workload generates the synthetic populations and services the
-// experiments run on: heterogeneous device profiles (the paper's phones,
-// PDAs and laptops), multimedia service templates built from the paper's
-// own examples (video streaming Section 3, remote surveillance Section
-// 3.1, computation offloading Sections 1/7), and seeded scenario
-// generators.
 package workload
 
 import (
@@ -121,6 +115,16 @@ var DefaultMix = Mix{
 	{Profile: PDA, Weight: 0.30},
 	{Profile: Laptop, Weight: 0.25},
 	{Profile: AccessPoint, Weight: 0.05},
+}
+
+// ChurnMix is the churn-sensitive population of the churn and
+// adaptation experiments (E19, E22-E24) and qosim's open mode: no
+// access-point giant, so leave events have a real chance of hitting a
+// serving coalition member.
+var ChurnMix = Mix{
+	{Profile: Phone, Weight: 0.40},
+	{Profile: PDA, Weight: 0.35},
+	{Profile: Laptop, Weight: 0.25},
 }
 
 // UniformMix gives every listed profile equal weight.

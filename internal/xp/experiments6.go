@@ -199,15 +199,10 @@ func E19CombinedChurn(cfg Config) (*metrics.Table, error) {
 				DownMean: 30,
 			}
 		}
-		// No access-point giant: tasks spread over phones, PDAs and
-		// laptops, so a leave event has a real chance of hitting a
-		// serving member and forcing a reconfiguration.
-		mix := workload.Mix{
-			{Profile: workload.Phone, Weight: 0.4},
-			{Profile: workload.PDA, Weight: 0.35},
-			{Profile: workload.Laptop, Weight: 0.25},
-		}
-		st, err := openRun(rep.Seed, 16, mix, scfg)
+		// No access-point giant (workload.ChurnMix): a leave event has
+		// a real chance of hitting a serving member and forcing a
+		// reconfiguration.
+		st, err := openRun(rep.Seed, 16, workload.ChurnMix, scfg)
 		if err != nil {
 			return nil, err
 		}

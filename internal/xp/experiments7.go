@@ -16,6 +16,20 @@ import (
 // randomness from seed + s, so the tables are bit-identical at any
 // -parallel width — scripts/determinism.sh enforces that in CI.
 
+// splitHotEdge separates a 3x3 city's centre ("hot") shard from the
+// merged 8 outer ("edge") shards — the reporting convention E21 and
+// E24 share.
+func splitHotEdge(res *fabric.Result) (hot fabric.ShardResult, edge session.Stats) {
+	const centre = 4 // (1,1) of the 3x3 grid
+	for i := range res.Shards {
+		if i != centre {
+			st := res.Shards[i].Stats
+			edge.Merge(&st)
+		}
+	}
+	return res.Shards[centre], edge
+}
+
 // cityRun drives one city replication. The fabric's shard pool reuses
 // the sweep's parallelism knob: the replication is deterministic either
 // way, the width only sets how many shards run concurrently.
@@ -111,15 +125,7 @@ func E21HotspotImbalance(cfg Config) (*metrics.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		const centre = 4 // (1,1) of the 3x3 grid
-		var edge session.Stats
-		for i := range res.Shards {
-			if i != centre {
-				st := res.Shards[i].Stats
-				edge.Merge(&st)
-			}
-		}
-		hot := res.Shards[centre]
+		hot, edge := splitHotEdge(res)
 		return []float64{
 			hot.Rate,
 			res.City.AdmissionRatio(), res.City.BlockingRatio(),

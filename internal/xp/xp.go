@@ -93,6 +93,12 @@ func All() []Experiment {
 			Claim: "many spontaneous neighbourhoods coexist across a wide area; capacity scales out with shards (S1)", Run: E20ShardScaling},
 		{ID: "E21", Title: "City fabric: hotspot load imbalance",
 			Claim: "equal mean load does not mean equal quality — skew across neighbourhoods drives city-wide blocking", Run: E21HotspotImbalance},
+		{ID: "E22", Title: "Churn repair policy: degrade vs migrate vs kill",
+			Claim: "renegotiating live sessions to a degraded level beats killing them when members churn (S4)", Run: E22AdaptChurn},
+		{ID: "E23", Title: "Upgrade reclamation after burst load",
+			Claim: "run-time adaptation is bidirectional — degraded sessions reclaim quality when capacity frees (S4)", Run: E23UpgradeReclamation},
+		{ID: "E24", Title: "City-scale adaptation under hotspot imbalance",
+			Claim: "mid-session adaptation concentrates its work where the load is, lifting city-wide survival (S1, S4)", Run: E24CityAdaptation},
 	}
 }
 

@@ -13,6 +13,8 @@
 # the PR-2 compiled-hot-path refactor. BENCH_PR3.json is the second
 # point, adding the E17 open-system sweep. BENCH_PR4.json is the third,
 # adding the city-fabric weak-scaling benchmark and the E20 shard sweep.
+# BENCH_PR5.json is the fourth, adding the E22 adaptation-under-churn
+# sweep.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,9 +29,10 @@ run_bench() { # pkg, pattern
 
 # Micro-benchmarks of the three compiled inner loops, their pre-compile
 # counterparts, the end-to-end E1/E5/E16 sweeps, the E17 open-system
-# (session churn) sweep, and the city fabric (E20 shard sweep plus the
-# weak-scaling benchmark at 1 and 8 shards).
-run_bench . 'BenchmarkFormulate$|BenchmarkFormulateOneShot$|BenchmarkFormulateExhaustive$|BenchmarkDistanceEval$|BenchmarkE1AcceptanceVsNodes$|BenchmarkE5HeuristicVsOptimal$|BenchmarkE16OptimalScaling$|BenchmarkE17OfferedLoad$|BenchmarkE20ShardScaling$|BenchmarkCityFabric/shards=1$|BenchmarkCityFabric/shards=8$'
+# (session churn) sweep, the city fabric (E20 shard sweep plus the
+# weak-scaling benchmark at 1 and 8 shards), and the E22 mid-session
+# adaptation sweep.
+run_bench . 'BenchmarkFormulate$|BenchmarkFormulateOneShot$|BenchmarkFormulateExhaustive$|BenchmarkDistanceEval$|BenchmarkE1AcceptanceVsNodes$|BenchmarkE5HeuristicVsOptimal$|BenchmarkE16OptimalScaling$|BenchmarkE17OfferedLoad$|BenchmarkE20ShardScaling$|BenchmarkE22AdaptChurn$|BenchmarkCityFabric/shards=1$|BenchmarkCityFabric/shards=8$'
 run_bench ./internal/qos 'BenchmarkDistance$|BenchmarkDistanceCompiled$|BenchmarkReward$|BenchmarkRewardCompiled$|BenchmarkBuildLadder$'
 run_bench ./internal/baseline 'BenchmarkOptimal$|BenchmarkOptimalExhaustive$|BenchmarkOptimalLarge$'
 

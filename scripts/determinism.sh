@@ -6,8 +6,10 @@
 #   E1   the sweep runner (replication fan-out, PR 1)
 #   E17  the open-system session engine under the sweep runner (PR 3)
 #   E20  the city fabric's shard pool nested inside the sweep (PR 4)
+#   E22-E24  the mid-session adaptation engine, which must stay a pure
+#            function of (cluster, config, seed) at any width (PR 5)
 #
-# Usage: scripts/determinism.sh [EXPERIMENT...]   (default: E1 E17 E20)
+# Usage: scripts/determinism.sh [EXPERIMENT...]   (default: E1 E17 E20 E22 E23 E24)
 #
 # Only wall-clock lines ("elapsed") may differ between widths; any other
 # byte is a determinism regression in a worker pool, an accumulator, or
@@ -17,7 +19,7 @@ cd "$(dirname "$0")/.."
 
 exps=("$@")
 if [ "${#exps[@]}" -eq 0 ]; then
-  exps=(E1 E17 E20)
+  exps=(E1 E17 E20 E22 E23 E24)
 fi
 
 bin="$(mktemp -d)/qosbench"

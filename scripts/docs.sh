@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# docs.sh — the documentation quality gate (CI "docs" job):
+#
+#   1. go vet across the module (doc files must still compile and pass
+#      vet, so examples embedded in package docs stay honest);
+#   2. every package must carry package documentation: a "// Package x"
+#      (or "// Command x" for mains) doc comment in some non-test file
+#      (a dedicated doc.go is the house convention, not enforced here);
+#   3. every relative markdown link in *.md must resolve to an existing
+#      file or directory (external http(s)/mailto and pure #anchor links
+#      are not checked — CI has no network guarantee).
+#
+# Usage: scripts/docs.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+
+echo "== go vet =="
+go vet ./...
+
+echo "== package documentation =="
+while IFS= read -r dir; do
+  # Skip directories without non-test Go files.
+  files=$(find "$dir" -maxdepth 1 -name '*.go' ! -name '*_test.go' | sort)
+  [ -n "$files" ] || continue
+  pkg=$(basename "$dir")
+  case "$dir" in
+    ./internal/*|./cmd/*|.)
+      # Library and command packages must carry a conventional doc
+      # comment ("// Package x ..." / "// Command x ...").
+      if ! grep -l -E '^// (Package|Command) ' $files > /dev/null 2>&1; then
+        echo "docs: package $dir has no package documentation (// Package $pkg ...)" >&2
+        status=1
+      fi
+      ;;
+    *)
+      # Example mains only need a leading doc comment of some form.
+      documented=0
+      for f in $files; do
+        if head -1 "$f" | grep -q '^//'; then
+          documented=1
+          break
+        fi
+      done
+      if [ "$documented" -eq 0 ]; then
+        echo "docs: package $dir has no leading doc comment" >&2
+        status=1
+      fi
+      ;;
+  esac
+done < <(find . -type d ! -path './.git*' ! -path './testdata*' ! -path '*/testdata*')
+
+echo "== markdown links =="
+while IFS= read -r md; do
+  dir=$(dirname "$md")
+  # Inline links: [text](target). Reference-style and autolinks are rare
+  # here; inline covers every link these docs use.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|'#'*|'') continue ;;
+    esac
+    path="${target%%#*}"
+    [ -n "$path" ] || continue
+    # Paths resolving outside the repository are GitHub-UI-relative
+    # (the CI badge), not files we can check.
+    case "$(realpath -m "$dir/$path")" in
+      "$PWD"/*) ;;
+      *) continue ;;
+    esac
+    if [ ! -e "$dir/$path" ]; then
+      echo "docs: $md links to missing path: $target" >&2
+      status=1
+    fi
+  done < <(grep -oE '\[[^][]*\]\(([^()[:space:]]+)\)' "$md" | sed -E 's/^\[[^][]*\]\(//; s/\)$//')
+done < <(find . -name '*.md' ! -path './.git*')
+
+if [ "$status" -eq 0 ]; then
+  echo "docs: OK (vet clean, all packages documented, all markdown links resolve)"
+fi
+exit $status
