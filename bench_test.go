@@ -127,6 +127,48 @@ func BenchmarkCityFabric(b *testing.B) {
 	}
 }
 
+// BenchmarkSessionsPerSecond is the repo's throughput headline: how
+// many complete session lifecycles (arrival, negotiation, operation,
+// departure) the pooled engine simulates per wall-clock second. The
+// sweep is weak-scaling — workers=N drives N independent 16-node
+// neighbourhoods, each under the same fixed load, across N pool
+// workers — so sessions/s should grow near-linearly in N up to the core
+// count while ns/op stays near-flat. workers=1 is the single-engine
+// figure the PR-6 pooling targeted; scripts/benchgate.sh gates
+// workers=1 against the committed baseline.
+func BenchmarkSessionsPerSecond(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := fabric.Config{
+				City: workload.CityScenario{
+					Rows: 1, Cols: workers, NodesPerShard: 16,
+					TotalRate: 0.1 * float64(workers), Profile: workload.CityUniform,
+				},
+				Template:  workload.SessionTemplate{Name: "bench-sps", Tasks: 2, Scale: 1.0},
+				HoldMean:  30,
+				Horizon:   600,
+				Warmup:    60,
+				Organizer: core.DefaultOrganizerConfig,
+				Parallel:  workers,
+				Seed:      1,
+			}
+			b.ReportAllocs()
+			var sessions int
+			for i := 0; i < b.N; i++ {
+				res, err := fabric.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sessions = res.City.Arrivals
+			}
+			if sessions == 0 {
+				b.Fatal("no sessions simulated")
+			}
+			b.ReportMetric(float64(sessions)*float64(b.N)/b.Elapsed().Seconds(), "sessions/s")
+		})
+	}
+}
+
 // --- micro-benchmarks ---
 
 // BenchmarkDistanceEval measures one Section 6 multi-attribute

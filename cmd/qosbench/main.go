@@ -42,6 +42,7 @@ type options struct {
 	run      string
 	parallel int
 	jsonPath string
+	slowpath bool
 }
 
 // parseFlags parses args (without the program name) into options.
@@ -58,6 +59,7 @@ func parseFlags(args []string, errw io.Writer) (*options, error) {
 	fs.StringVar(&o.run, "run", "", "comma-separated experiment IDs (default: all)")
 	fs.IntVar(&o.parallel, "parallel", runtime.NumCPU(), "worker-pool width for replications (1 = sequential; output is identical at any width)")
 	fs.StringVar(&o.jsonPath, "json", "", "write a JSON results document to FILE (\"-\" = stdout, suppressing the text tables)")
+	fs.BoolVar(&o.slowpath, "slowpath", false, "drive the open-system experiments on the reference (unpooled) session loop; tables are bit-identical to the default fast path")
 	if err := fs.Parse(args); err != nil {
 		return nil, err // fs has already printed the error and usage
 	}
@@ -97,7 +99,7 @@ func selectExperiments(run string) ([]xp.Experiment, error) {
 // runSuite executes exps, prints tables to out, and returns the results
 // document plus the number of failed experiments.
 func runSuite(o *options, exps []xp.Experiment, out, errw io.Writer) (*metrics.Results, int) {
-	cfg := xp.Config{Seed: o.seed, Repeats: o.repeats, Quick: o.quick, Parallel: o.parallel}
+	cfg := xp.Config{Seed: o.seed, Repeats: o.repeats, Quick: o.quick, Parallel: o.parallel, SlowPath: o.slowpath}
 	res := metrics.NewResults("qosbench", map[string]any{
 		"seed": o.seed, "repeats": o.repeats, "quick": o.quick,
 		"parallel": o.parallel, "run": o.run,

@@ -55,12 +55,13 @@ type options struct {
 	verbose   bool
 	showTrace bool
 
-	open    bool
-	rate    float64
-	hold    float64
-	horizon float64
-	churn   float64
-	adapt   string
+	open     bool
+	rate     float64
+	hold     float64
+	horizon  float64
+	churn    float64
+	adapt    string
+	slowpath bool
 }
 
 // parseFlags parses args (without the program name) into options.
@@ -84,6 +85,7 @@ func parseFlags(args []string, errw io.Writer) (*options, error) {
 	fs.Float64Var(&o.horizon, "horizon", 600, "open mode: simulated span (s); warmup is horizon/10")
 	fs.Float64Var(&o.churn, "churn", 0, "open mode: node leaves per hour (0 = no churn)")
 	fs.StringVar(&o.adapt, "adapt", "off", "open mode: mid-session QoS adaptation: off | kill | migrate | degrade")
+	fs.BoolVar(&o.slowpath, "slowpath", false, "open mode: drive the reference (unpooled) session loop; output is bit-identical to the default fast path")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -117,6 +119,7 @@ func runOpen(o *options, out io.Writer) error {
 		Horizon:    o.horizon,
 		Warmup:     o.horizon / 10,
 		Organizer:  ocfg,
+		SlowPath:   o.slowpath,
 	}
 	if o.churn > 0 {
 		cfg.Churn = &session.ChurnConfig{

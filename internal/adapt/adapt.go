@@ -242,6 +242,18 @@ type Engine struct {
 	sessions map[string]*state
 	order    []string // svcIDs in admission order
 
+	// Steady-state scratch and free-lists: open-system runs admit and
+	// forget sessions continuously, so session records, task records and
+	// the per-trigger work lists are recycled instead of reallocated.
+	// Event histories and degrade histories are NOT recycled — History's
+	// callers may hold them past Forget — so a recycled record starts
+	// with nil events/hist and ownership of the old slices stays with
+	// whoever read them.
+	statePool    []*state
+	taskPool     []*taskState
+	orderScratch []string
+	orphanBuf    []*taskState
+
 	stats Stats
 }
 
@@ -300,16 +312,39 @@ func (e *Engine) compileFor(svc *task.Service, t *task.Task) (*core.CompiledProb
 	return cp, nil
 }
 
+// getState pops a recycled session record (or allocates the first time).
+func (e *Engine) getState() *state {
+	if n := len(e.statePool); n > 0 {
+		st := e.statePool[n-1]
+		e.statePool = e.statePool[:n-1]
+		return st
+	}
+	return &state{}
+}
+
+// getTaskState pops a recycled task record.
+func (e *Engine) getTaskState() *taskState {
+	if n := len(e.taskPool); n > 0 {
+		ts := e.taskPool[n-1]
+		e.taskPool = e.taskPool[:n-1]
+		return ts
+	}
+	return &taskState{}
+}
+
 // Admit registers a freshly admitted session: its assignments are
 // re-anchored from protocol Levels onto the compiled ladder so every
 // later adaptation evaluates on the slot-indexed fast path. counted
 // marks sessions arriving at or after the owner's warmup.
 func (e *Engine) Admit(now float64, orgNode radio.NodeID, org *core.Organizer, counted bool) error {
 	svc := org.Service()
-	snap := org.Snapshot()
-	st := &state{svcID: svc.ID, orgNode: orgNode, org: org, counted: counted}
+	st := e.getState()
+	st.svcID, st.orgNode, st.org, st.counted = svc.ID, orgNode, org, counted
+	st.killed = false
+	st.events = nil
+	st.tasks = st.tasks[:0]
 	for _, t := range svc.Tasks {
-		a3, ok := snap[t.ID]
+		a3, ok := org.Assignment(t.ID)
 		if !ok {
 			continue
 		}
@@ -321,10 +356,11 @@ func (e *Engine) Admit(now float64, orgNode radio.NodeID, org *core.Organizer, c
 		if err != nil {
 			return fmt.Errorf("adapt: session %s task %s: %w (provider GridSteps mismatch?)", svc.ID, t.ID, err)
 		}
-		st.tasks = append(st.tasks, &taskState{
-			t: t, cp: cp, node: a3.Node, comm: a3.CommCost,
-			cur: a, admit: a.Clone(), admitDist: cp.C.Distance(a),
-		})
+		ts := e.getTaskState()
+		ts.t, ts.cp, ts.node, ts.comm = t, cp, a3.Node, a3.CommCost
+		ts.cur, ts.admit, ts.admitDist = a, a.Clone(), cp.C.Distance(a)
+		ts.hist = nil
+		st.tasks = append(st.tasks, ts)
 	}
 	e.sessions[svc.ID] = st
 	e.order = append(e.order, svc.ID)
@@ -346,20 +382,29 @@ func (e *Engine) Forget(now float64, svcID string) {
 			break
 		}
 	}
-	if !st.counted || st.killed {
-		return
-	}
-	if len(st.tasks) > 0 {
-		var drift float64
-		for _, ts := range st.tasks {
-			drift += ts.cp.C.Distance(ts.cur) - ts.admitDist
+	if st.counted && !st.killed {
+		if len(st.tasks) > 0 {
+			var drift float64
+			for _, ts := range st.tasks {
+				drift += ts.cp.C.Distance(ts.cur) - ts.admitDist
+			}
+			e.stats.DriftSum += drift / float64(len(st.tasks))
+			e.stats.DriftN++
 		}
-		e.stats.DriftSum += drift / float64(len(st.tasks))
-		e.stats.DriftN++
+		if len(st.events) > 0 {
+			e.stats.AdaptedSessions++
+		}
 	}
-	if len(st.events) > 0 {
-		e.stats.AdaptedSessions++
+	// Recycle the records. The stats above were folded from values, not
+	// retained slices, so a recycled session can never perturb them; the
+	// event history's ownership has already passed to any History caller
+	// (Admit starts the recycled record with nil events).
+	for _, ts := range st.tasks {
+		ts.t = nil
+		e.taskPool = append(e.taskPool, ts)
 	}
+	st.org = nil
+	e.statePool = append(e.statePool, st)
 }
 
 // counts reports whether events at time now enter the counters.
@@ -374,17 +419,19 @@ func (e *Engine) counts(now float64) bool { return now >= e.countFrom }
 // tears them down.
 func (e *Engine) NodeDown(now float64) (killed []string) {
 	counts := e.counts(now)
-	for _, svcID := range append([]string(nil), e.order...) {
+	e.orderScratch = append(e.orderScratch[:0], e.order...)
+	for _, svcID := range e.orderScratch {
 		st, ok := e.sessions[svcID]
 		if !ok {
 			continue
 		}
-		var orphans []*taskState
+		orphans := e.orphanBuf[:0]
 		for _, ts := range st.tasks {
 			if e.cl.Medium.Down(ts.node) {
 				orphans = append(orphans, ts)
 			}
 		}
+		e.orphanBuf = orphans[:0]
 		if len(orphans) == 0 {
 			continue
 		}
@@ -449,7 +496,8 @@ func (e *Engine) replace(now float64, st *state, ts *taskState, counts bool) boo
 		dist float64
 		comm float64
 	}
-	var best *placement
+	var best placement
+	haveBest := false
 	var curDemand resource.Vector
 	var curDist float64
 	var stops []pathStop
@@ -466,7 +514,7 @@ func (e *Engine) replace(now float64, st *state, ts *taskState, counts bool) boo
 		// own stopping point below.
 		stops = e.stopsFor(ts.cp)
 	}
-	for _, id := range e.cl.Nodes() {
+	for _, id := range e.cl.Medium.IDs() {
 		if e.cl.Medium.Down(id) {
 			continue
 		}
@@ -474,13 +522,13 @@ func (e *Engine) replace(now float64, st *state, ts *taskState, counts bool) boo
 			continue
 		}
 		res := e.cl.Node(id).Res
-		var cand *placement
+		var cand placement
 		switch e.cfg.OnChurn {
 		case MigrateExact:
 			if !res.CanReserve(curDemand) {
 				continue
 			}
-			cand = &placement{node: id, stop: -1, dist: curDist}
+			cand = placement{node: id, stop: -1, dist: curDist}
 		default: // DegradeToFit
 			stop := -1
 			for i := range stops {
@@ -492,7 +540,7 @@ func (e *Engine) replace(now float64, st *state, ts *taskState, counts bool) boo
 			if stop < 0 {
 				continue
 			}
-			cand = &placement{node: id, stop: stop, dist: ts.cp.C.Distance(stops[stop].a)}
+			cand = placement{node: id, stop: stop, dist: ts.cp.C.Distance(stops[stop].a)}
 		}
 		if id != st.orgNode {
 			cand.comm = e.cl.Medium.TxTime(st.orgNode, id, ts.t.DataBytes())
@@ -500,13 +548,13 @@ func (e *Engine) replace(now float64, st *state, ts *taskState, counts bool) boo
 		if math.IsNaN(cand.comm) || cand.comm > core.MaxCommCost {
 			continue // effectively unreachable, mirroring proposal admission
 		}
-		if best == nil || cand.dist < best.dist ||
+		if !haveBest || cand.dist < best.dist ||
 			(cand.dist == best.dist && (cand.comm < best.comm ||
 				(cand.comm == best.comm && cand.node < best.node))) {
-			best = cand
+			best, haveBest = cand, true
 		}
 	}
-	if best == nil {
+	if !haveBest {
 		return false
 	}
 	// Materialize the winner only: clone its assignment (and, for a
@@ -611,7 +659,7 @@ func (e *Engine) Tick(now float64) {
 		return
 	}
 	counts := e.counts(now)
-	for _, id := range e.cl.Nodes() {
+	for _, id := range e.cl.Medium.IDs() {
 		if e.cl.Medium.Down(id) {
 			continue
 		}

@@ -50,6 +50,11 @@ type Cluster struct {
 
 	providerCfg ProviderConfig
 	nodes       map[radio.NodeID]*Node
+
+	// selfSends is a free-list of pooled local-dispatch records: sends to
+	// the local node bypass the radio but still cross the event loop, and
+	// pooling the record avoids one closure allocation per intra-node call.
+	selfSends []*selfSend
 }
 
 // NewCluster builds an empty cluster on a fresh engine.
@@ -80,10 +85,34 @@ type simTransport struct {
 
 func (t simTransport) Self() radio.NodeID { return t.id }
 
+// selfSend is one pending intra-node dispatch, pooled on the cluster.
+type selfSend struct {
+	c  *Cluster
+	at radio.NodeID
+	m  proto.Msg
+}
+
+// runSelfSend is the shared event handler for every selfSend record.
+func runSelfSend(x any) {
+	s := x.(*selfSend)
+	c, at, m := s.c, s.at, s.m
+	s.m = nil
+	c.selfSends = append(c.selfSends, s)
+	c.dispatch(at, at, m)
+}
+
 func (t simTransport) Send(to radio.NodeID, m proto.Msg) {
 	if to == t.id {
-		from := t.id
-		t.c.Eng.After(0, func() { t.c.dispatch(to, from, m) })
+		c := t.c
+		var s *selfSend
+		if n := len(c.selfSends); n > 0 {
+			s = c.selfSends[n-1]
+			c.selfSends = c.selfSends[:n-1]
+		} else {
+			s = &selfSend{c: c}
+		}
+		s.at, s.m = to, m
+		c.Eng.AfterArg(0, runSelfSend, s)
 		return
 	}
 	t.c.Medium.Send(t.id, to, m, m.WireSize())
@@ -126,7 +155,9 @@ func (c *Cluster) AddNode(spec NodeSpec) (*Node, error) {
 		n.Res = resource.NewSet(spec.Capacity)
 	}
 	n.tr = simTransport{c: c, id: spec.ID}
-	n.Provider = NewProvider(spec.ID, n.Res, c.Catalog, n.tr, simTimers{c.Eng}, c.providerCfg)
+	pcfg := c.providerCfg
+	pcfg.simTransport = true
+	n.Provider = NewProvider(spec.ID, n.Res, c.Catalog, n.tr, simTimers{c.Eng}, pcfg)
 	handler := func(from radio.NodeID, msg any) {
 		pm, ok := msg.(proto.Msg)
 		if !ok {

@@ -136,23 +136,30 @@ type Organizer struct {
 	cfg OrganizerConfig
 	svc *task.Service
 
-	mu        sync.Mutex
-	state     CoalitionState
-	round     int
-	pending   map[string]bool // tasks needing assignment this round
+	mu    sync.Mutex
+	state CoalitionState
+	round int
+	// tasks is the per-task negotiation state, indexed in service
+	// declaration order. One slice replaces what used to be five
+	// per-organizer maps (pending, assigned, awarded, acked, evals):
+	// open-system runs create an organizer per arriving session, so the
+	// per-organizer container count is a first-order allocation cost.
+	tasks     []orgTask
 	collect   bool
 	cands     map[string][]Candidate
-	awarded   map[string]Assignment3 // awaiting ack
-	acked     map[string]bool
-	assigned  map[string]Assignment3
 	started   float64
 	proposals int
 	onFormed  func(*Result)
 	lastHB    map[radio.NodeID]float64
 	monitorOn bool
 
-	improving     bool
-	improveTarget map[string]Assignment3 // task -> migration candidate
+	improving bool
+
+	// orderBuf is the reused pending-order scratch; monitorFn the
+	// persistent supervision closure rescheduled every period.
+	orderBuf  []string
+	monitorFn func()
+	traceOn   bool
 
 	// Reconfigurations counts failure-driven renegotiations.
 	Reconfigurations int
@@ -160,6 +167,38 @@ type Organizer struct {
 	Failures int
 	// Upgrades counts tasks migrated to better levels by TryImprove.
 	Upgrades int
+}
+
+// orgTask is one task's negotiation state.
+type orgTask struct {
+	t       *task.Task
+	pending bool // needs assignment this round
+	// assigned/asg is the confirmed allocation; awarded/award the award
+	// awaiting acknowledgement this round; acked marks a received ack.
+	assigned bool
+	asg      Assignment3
+	awarded  bool
+	award    Assignment3
+	acked    bool
+	// eval caches the admission evaluator: spec and request are immutable
+	// for the organizer's life, so proposal evaluation reuses the
+	// compiled evaluator instead of revalidating per proposal. A task
+	// whose request fails validation caches nil and keeps being skipped,
+	// exactly as when it was rebuilt (and re-failed) per proposal.
+	eval     *qos.Evaluator
+	evalInit bool
+}
+
+// taskAt returns the state record for a task ID, or nil for IDs outside
+// the service (stale or foreign protocol traffic). Services are small —
+// a linear scan beats a per-organizer map.
+func (o *Organizer) taskAt(tid string) *orgTask {
+	for i := range o.tasks {
+		if o.tasks[i].t.ID == tid {
+			return &o.tasks[i]
+		}
+	}
+	return nil
 }
 
 // NewOrganizer builds an organizer for one service. onFormed fires every
@@ -181,13 +220,17 @@ func NewOrganizer(svc *task.Service, tr proto.Transport, tm proto.Timers, cfg Or
 	if cfg.Trace == nil {
 		cfg.Trace = trace.Nop{}
 	}
-	return &Organizer{
-		tr: tr, tm: tm, cfg: cfg, svc: svc,
-		pending:  make(map[string]bool),
-		assigned: make(map[string]Assignment3),
+	_, nop := cfg.Trace.(trace.Nop)
+	o := &Organizer{
+		tr: tr, tm: tm, cfg: cfg, svc: svc, traceOn: !nop,
+		tasks:    make([]orgTask, len(svc.Tasks)),
 		lastHB:   make(map[radio.NodeID]float64),
 		onFormed: onFormed,
-	}, nil
+	}
+	for i, t := range svc.Tasks {
+		o.tasks[i].t = t
+	}
+	return o, nil
 }
 
 // State returns the coalition's life-cycle phase.
@@ -205,8 +248,8 @@ func (o *Organizer) Service() *task.Service { return o.svc }
 func (o *Organizer) Start() {
 	o.mu.Lock()
 	o.started = o.tm.Now()
-	for _, t := range o.svc.Tasks {
-		o.pending[t.ID] = true
+	for i := range o.tasks {
+		o.tasks[i].pending = true
 	}
 	o.mu.Unlock()
 	o.startRound()
@@ -237,12 +280,12 @@ func (o *Organizer) startRound() {
 		})
 	}
 	o.collect = true
-	o.cands = make(map[string][]Candidate)
-	o.awarded = make(map[string]Assignment3)
-	o.acked = make(map[string]bool)
+	o.resetRoundLocked()
 	o.mu.Unlock()
 
-	o.emit("cfp", fmt.Sprintf("service %s round %d: %d task(s)", o.svc.ID, round, len(cfp.Tasks)))
+	if o.traceOn {
+		o.emit("cfp", fmt.Sprintf("service %s round %d: %d task(s)", o.svc.ID, round, len(cfp.Tasks)))
+	}
 	o.tr.Broadcast(cfp)
 	o.tr.Send(o.tr.Self(), cfp) // the organizer's own node may join the coalition
 	o.tm.After(o.cfg.ProposalWait, func() { o.closeRound(round) })
@@ -256,14 +299,55 @@ func (o *Organizer) emit(kind, detail string) {
 }
 
 // pendingOrderLocked returns pending tasks in service declaration order.
+// The returned slice aliases a reused scratch buffer valid until the next
+// call; callers consume it before releasing o.mu-protected round state.
 func (o *Organizer) pendingOrderLocked() []string {
-	var order []string
-	for _, t := range o.svc.Tasks {
-		if o.pending[t.ID] {
-			order = append(order, t.ID)
+	o.orderBuf = o.orderBuf[:0]
+	for i := range o.tasks {
+		if o.tasks[i].pending {
+			o.orderBuf = append(o.orderBuf, o.tasks[i].t.ID)
 		}
 	}
-	return order
+	return o.orderBuf
+}
+
+// pendingCountLocked counts tasks still needing assignment.
+func (o *Organizer) pendingCountLocked() int {
+	n := 0
+	for i := range o.tasks {
+		if o.tasks[i].pending {
+			n++
+		}
+	}
+	return n
+}
+
+// resetRoundLocked clears the per-round negotiation state, reusing the
+// candidate map storage (and the per-task candidate slices' backing
+// arrays) across rounds instead of reallocating them.
+func (o *Organizer) resetRoundLocked() {
+	if o.cands == nil {
+		o.cands = make(map[string][]Candidate)
+	} else {
+		for k, v := range o.cands {
+			o.cands[k] = v[:0]
+		}
+	}
+	for i := range o.tasks {
+		o.tasks[i].awarded = false
+		o.tasks[i].acked = false
+	}
+}
+
+// evaluatorFor returns the cached admission evaluator for a task,
+// building it on first use. Returns nil when the task's request does not
+// validate against the spec (such proposals are discarded, as before).
+func (o *Organizer) evaluatorFor(ot *orgTask) *qos.Evaluator {
+	if !ot.evalInit {
+		ot.eval, _ = qos.NewEvaluator(o.svc.Spec, &ot.t.Request)
+		ot.evalInit = true
+	}
+	return ot.eval
 }
 
 // OnMsg dispatches organizer-role messages.
@@ -289,27 +373,24 @@ func (o *Organizer) onProposal(from radio.NodeID, m *proto.Proposal) {
 	}
 	o.proposals++
 	for _, tp := range m.Tasks {
-		if !o.pending[tp.TaskID] {
-			if !o.improving {
-				continue
-			}
-			if _, served := o.assigned[tp.TaskID]; !served {
-				continue
-			}
-		}
-		t := o.svc.Task(tp.TaskID)
-		if t == nil {
+		ot := o.taskAt(tp.TaskID)
+		if ot == nil {
 			continue
 		}
-		eval, err := qos.NewEvaluator(o.svc.Spec, &t.Request)
-		if err != nil {
+		if !ot.pending {
+			if !o.improving || !ot.assigned {
+				continue
+			}
+		}
+		eval := o.evaluatorFor(ot)
+		if eval == nil {
 			continue
 		}
 		dist, err := eval.Distance(tp.Level)
 		if err != nil {
 			continue // not admissible: the paper evaluates admissible proposals only
 		}
-		cost := o.tr.CommCost(from, t.DataBytes())
+		cost := o.tr.CommCost(from, ot.t.DataBytes())
 		if cost != cost || cost > MaxCommCost { // NaN or effectively unreachable
 			continue
 		}
@@ -333,7 +414,9 @@ func (o *Organizer) closeRound(round int) {
 	sel := SelectWinners(order, o.cands, o.cfg.Policy)
 	byNode := make(map[radio.NodeID][]string)
 	for _, a := range sel.Assigned {
-		o.awarded[a.TaskID] = a
+		if ot := o.taskAt(a.TaskID); ot != nil {
+			ot.awarded, ot.award = true, a
+		}
 		byNode[a.Node] = append(byNode[a.Node], a.TaskID)
 	}
 	nodes := make([]radio.NodeID, 0, len(byNode))
@@ -345,8 +428,10 @@ func (o *Organizer) closeRound(round int) {
 	unserved := len(sel.Unserved)
 	o.mu.Unlock()
 
-	o.emit("select", fmt.Sprintf("service %s round %d: %d award(s) to %d node(s), %d without proposals",
-		svcID, round, len(sel.Assigned), len(nodes), unserved))
+	if o.traceOn {
+		o.emit("select", fmt.Sprintf("service %s round %d: %d award(s) to %d node(s), %d without proposals",
+			svcID, round, len(sel.Assigned), len(nodes), unserved))
+	}
 	for _, n := range nodes {
 		o.tr.Send(n, &proto.Award{ServiceID: svcID, Round: round, TaskIDs: byNode[n]})
 	}
@@ -369,21 +454,20 @@ func (o *Organizer) onAwardAck(from radio.NodeID, m *proto.AwardAck) {
 	}
 	var releases []release
 	for _, tid := range m.TaskIDs {
-		a, ok := o.awarded[tid]
-		if !ok || a.Node != from || o.acked[tid] {
+		ot := o.taskAt(tid)
+		if ot == nil || !ot.awarded || ot.award.Node != from || ot.acked {
 			continue
 		}
-		o.acked[tid] = true
-		if prev, had := o.assigned[tid]; had && prev.Node != a.Node {
-			releases = append(releases, release{node: prev.Node, tid: tid})
+		ot.acked = true
+		if ot.assigned && ot.asg.Node != ot.award.Node {
+			releases = append(releases, release{node: ot.asg.Node, tid: tid})
 			if o.improving {
 				o.Upgrades++
 			}
 		}
-		o.assigned[tid] = a
-		delete(o.pending, tid)
-		t := o.svc.Task(tid)
-		data = append(data, &proto.TaskData{ServiceID: o.svc.ID, TaskID: tid, Bytes: t.InBytes})
+		ot.assigned, ot.asg = true, ot.award
+		ot.pending = false
+		data = append(data, &proto.TaskData{ServiceID: o.svc.ID, TaskID: tid, Bytes: ot.t.InBytes})
 	}
 	o.lastHB[from] = o.tm.Now()
 	svcID := o.svc.ID
@@ -392,7 +476,9 @@ func (o *Organizer) onAwardAck(from radio.NodeID, m *proto.AwardAck) {
 		o.tr.Send(from, d)
 	}
 	for _, r := range releases {
-		o.emit("upgrade", fmt.Sprintf("service %s: task %s migrated node %d -> %d", svcID, r.tid, r.node, from))
+		if o.traceOn {
+			o.emit("upgrade", fmt.Sprintf("service %s: task %s migrated node %d -> %d", svcID, r.tid, r.node, from))
+		}
 		o.tr.Send(r.node, &proto.TaskRelease{ServiceID: svcID, TaskID: r.tid, Reason: "migrated to a closer-to-preference proposal"})
 	}
 }
@@ -419,10 +505,11 @@ func (o *Organizer) TryImprove() {
 		SpecName:  o.svc.Spec.Name,
 		Deadline:  o.tm.Now() + o.cfg.ProposalWait,
 	}
-	for _, t := range o.svc.Tasks {
-		if _, served := o.assigned[t.ID]; !served {
+	for i := range o.tasks {
+		if !o.tasks[i].assigned {
 			continue
 		}
+		t := o.tasks[i].t
 		cfp.Tasks = append(cfp.Tasks, proto.TaskDescr{
 			TaskID:    t.ID,
 			Request:   t.Request,
@@ -432,9 +519,7 @@ func (o *Organizer) TryImprove() {
 		})
 	}
 	o.collect = true
-	o.cands = make(map[string][]Candidate)
-	o.awarded = make(map[string]Assignment3)
-	o.acked = make(map[string]bool)
+	o.resetRoundLocked()
 	o.mu.Unlock()
 	if len(cfp.Tasks) == 0 {
 		o.mu.Lock()
@@ -443,7 +528,9 @@ func (o *Organizer) TryImprove() {
 		o.mu.Unlock()
 		return
 	}
-	o.emit("upgrade-cfp", fmt.Sprintf("service %s round %d: probing %d served task(s) for better levels", o.svc.ID, round, len(cfp.Tasks)))
+	if o.traceOn {
+		o.emit("upgrade-cfp", fmt.Sprintf("service %s round %d: probing %d served task(s) for better levels", o.svc.ID, round, len(cfp.Tasks)))
+	}
 	o.tr.Broadcast(cfp)
 	o.tr.Send(o.tr.Self(), cfp)
 	o.tm.After(o.cfg.ProposalWait, func() { o.closeImprove(round) })
@@ -465,12 +552,14 @@ func (o *Organizer) closeImprove(round int) {
 	}
 	used := make(budget)
 	byNode := make(map[radio.NodeID][]string)
-	for _, t := range o.svc.Tasks {
-		cur, served := o.assigned[t.ID]
-		if !served {
+	for i := range o.tasks {
+		ot := &o.tasks[i]
+		if !ot.assigned {
 			continue
 		}
-		ordered := append([]Candidate(nil), o.cands[t.ID]...)
+		cur := ot.asg
+		tid := ot.t.ID
+		ordered := append([]Candidate(nil), o.cands[tid]...)
 		sort.Slice(ordered, func(i, j int) bool {
 			return candidateLess(ordered[i], ordered[j], o.cfg.Policy)
 		})
@@ -479,11 +568,12 @@ func (o *Organizer) closeImprove(round int) {
 				continue
 			}
 			used.take(c)
-			o.awarded[t.ID] = Assignment3{
-				TaskID: t.ID, Node: c.Node, Level: c.Level,
+			ot.awarded = true
+			ot.award = Assignment3{
+				TaskID: tid, Node: c.Node, Level: c.Level,
 				Distance: c.Distance, CommCost: c.CommCost,
 			}
-			byNode[c.Node] = append(byNode[c.Node], t.ID)
+			byNode[c.Node] = append(byNode[c.Node], tid)
 			break
 		}
 	}
@@ -518,7 +608,7 @@ func (o *Organizer) finishRound(round int) {
 		o.mu.Unlock()
 		return
 	}
-	pendingLeft := len(o.pending)
+	pendingLeft := o.pendingCountLocked()
 	if pendingLeft > 0 && round+1 < o.cfg.MaxRounds {
 		o.round++
 		o.mu.Unlock()
@@ -527,17 +617,16 @@ func (o *Organizer) finishRound(round int) {
 	}
 	res := &Result{
 		ServiceID:         o.svc.ID,
-		Assigned:          make(map[string]Assignment3, len(o.assigned)),
+		Assigned:          make(map[string]Assignment3, len(o.tasks)),
 		Rounds:            round + 1,
 		FormationTime:     o.tm.Now() - o.started,
 		ProposalsReceived: o.proposals,
 	}
-	for tid, a := range o.assigned {
-		res.Assigned[tid] = a
-	}
-	for _, t := range o.svc.Tasks {
-		if _, ok := o.assigned[t.ID]; !ok {
-			res.Unserved = append(res.Unserved, t.ID)
+	for i := range o.tasks {
+		if o.tasks[i].assigned {
+			res.Assigned[o.tasks[i].t.ID] = o.tasks[i].asg
+		} else {
+			res.Unserved = append(res.Unserved, o.tasks[i].t.ID)
 		}
 	}
 	o.state = Operating
@@ -545,16 +634,21 @@ func (o *Organizer) finishRound(round int) {
 	if startMonitor {
 		o.monitorOn = true
 		now := o.tm.Now()
-		for _, a := range o.assigned {
-			if _, seen := o.lastHB[a.Node]; !seen {
-				o.lastHB[a.Node] = now
+		for i := range o.tasks {
+			if !o.tasks[i].assigned {
+				continue
+			}
+			if _, seen := o.lastHB[o.tasks[i].asg.Node]; !seen {
+				o.lastHB[o.tasks[i].asg.Node] = now
 			}
 		}
 	}
 	cb := o.onFormed
 	o.mu.Unlock()
-	o.emit("formed", fmt.Sprintf("service %s: %d/%d tasks on %d member(s) after %d round(s)",
-		res.ServiceID, len(res.Assigned), len(o.svc.Tasks), len(res.Members()), res.Rounds))
+	if o.traceOn {
+		o.emit("formed", fmt.Sprintf("service %s: %d/%d tasks on %d member(s) after %d round(s)",
+			res.ServiceID, len(res.Assigned), len(o.svc.Tasks), len(res.Members()), res.Rounds))
+	}
 	if cb != nil {
 		cb(res)
 	}
@@ -581,52 +675,72 @@ func (o *Organizer) monitorTick() {
 	if period <= 0 {
 		period = 0.5
 	}
-	o.tm.After(period, func() {
-		o.mu.Lock()
-		if o.state == Dissolved {
-			o.mu.Unlock()
-			return
-		}
-		now := o.tm.Now()
-		failed := make(map[radio.NodeID]bool)
-		for tid, a := range o.assigned {
-			if a.Node == o.tr.Self() {
-				continue // local execution needs no radio heartbeat
-			}
-			last, ok := o.lastHB[a.Node]
-			if !ok || now-last > o.cfg.HeartbeatTimeout {
-				failed[a.Node] = true
-				delete(o.assigned, tid)
-				o.pending[tid] = true
-			}
-		}
-		renegotiate := false
-		if len(failed) > 0 {
-			o.Failures += len(failed)
-			for n := range failed {
-				delete(o.lastHB, n)
-			}
-			if o.cfg.Reconfigure {
-				o.Reconfigurations++
-				o.round++
-				renegotiate = true
-			}
-		}
+	o.mu.Lock()
+	if o.monitorFn == nil {
+		// One closure per organizer for its whole life, not one per tick.
+		o.monitorFn = o.monitorBody
+	}
+	fn := o.monitorFn
+	o.mu.Unlock()
+	o.tm.After(period, fn)
+}
+
+func (o *Organizer) monitorBody() {
+	o.mu.Lock()
+	if o.state == Dissolved {
 		o.mu.Unlock()
-		if len(failed) > 0 {
-			nodes := make([]radio.NodeID, 0, len(failed))
-			for n := range failed {
-				nodes = append(nodes, n)
+		return
+	}
+	now := o.tm.Now()
+	var failed map[radio.NodeID]bool // allocated only when a member fails
+	for i := range o.tasks {
+		ot := &o.tasks[i]
+		if !ot.assigned {
+			continue
+		}
+		if ot.asg.Node == o.tr.Self() {
+			continue // local execution needs no radio heartbeat
+		}
+		last, ok := o.lastHB[ot.asg.Node]
+		if !ok || now-last > o.cfg.HeartbeatTimeout {
+			if failed == nil {
+				failed = make(map[radio.NodeID]bool)
 			}
-			sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+			failed[ot.asg.Node] = true
+			ot.assigned = false
+			ot.pending = true
+		}
+	}
+	renegotiate := false
+	if len(failed) > 0 {
+		o.Failures += len(failed)
+		for n := range failed {
+			delete(o.lastHB, n)
+		}
+		if o.cfg.Reconfigure {
+			o.Reconfigurations++
+			o.round++
+			renegotiate = true
+		}
+	}
+	o.mu.Unlock()
+	if len(failed) > 0 {
+		nodes := make([]radio.NodeID, 0, len(failed))
+		for n := range failed {
+			nodes = append(nodes, n)
+		}
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		if o.traceOn {
 			o.emit("failure", fmt.Sprintf("service %s: members %v silent beyond %gs", o.svc.ID, nodes, o.cfg.HeartbeatTimeout))
 		}
-		if renegotiate {
+	}
+	if renegotiate {
+		if o.traceOn {
 			o.emit("reconfigure", fmt.Sprintf("service %s: renegotiating orphaned tasks", o.svc.ID))
-			o.startRound()
 		}
-		o.monitorTick()
-	})
+		o.startRound()
+	}
+	o.monitorTick()
 }
 
 // Dissolve terminates the coalition (Section 4 "dissolution"): members
@@ -640,7 +754,9 @@ func (o *Organizer) Dissolve(reason string) {
 	o.state = Dissolved
 	svcID := o.svc.ID
 	o.mu.Unlock()
-	o.emit("dissolve", fmt.Sprintf("service %s: %s", svcID, reason))
+	if o.traceOn {
+		o.emit("dissolve", fmt.Sprintf("service %s: %s", svcID, reason))
+	}
 	m := &proto.Dissolve{ServiceID: svcID, Reason: reason}
 	o.tr.Broadcast(m)
 	o.tr.Send(o.tr.Self(), m)
@@ -660,10 +776,11 @@ func (o *Organizer) ApplyAdaptation(taskID string, a Assignment3) bool {
 	if o.state != Operating {
 		return false
 	}
-	if _, ok := o.assigned[taskID]; !ok {
+	ot := o.taskAt(taskID)
+	if ot == nil || !ot.assigned {
 		return false
 	}
-	o.assigned[taskID] = a
+	ot.asg = a
 	// The (possibly new) serving node is live by construction; refresh
 	// its liveness stamp so an enabled monitor does not instantly declare
 	// a freshly migrated member silent.
@@ -675,17 +792,41 @@ func (o *Organizer) ApplyAdaptation(taskID string, a Assignment3) bool {
 func (o *Organizer) Assignment(taskID string) (Assignment3, bool) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	a, ok := o.assigned[taskID]
-	return a, ok
+	ot := o.taskAt(taskID)
+	if ot == nil || !ot.assigned {
+		return Assignment3{}, false
+	}
+	return ot.asg, true
+}
+
+// AssignedDistanceSum returns the number of currently assigned tasks and
+// the sum of their distances, accumulated in task declaration order so
+// the floating-point result is deterministic. It is the allocation-free
+// accessor behind per-tick utilization sampling; Snapshot stays for
+// callers that need the full allocation.
+func (o *Organizer) AssignedDistanceSum() (int, float64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	n := 0
+	var sum float64
+	for i := range o.tasks {
+		if o.tasks[i].assigned {
+			n++
+			sum += o.tasks[i].asg.Distance
+		}
+	}
+	return n, sum
 }
 
 // Snapshot returns a copy of the current assignments.
 func (o *Organizer) Snapshot() map[string]Assignment3 {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	out := make(map[string]Assignment3, len(o.assigned))
-	for k, v := range o.assigned {
-		out[k] = v
+	out := make(map[string]Assignment3, len(o.tasks))
+	for i := range o.tasks {
+		if o.tasks[i].assigned {
+			out[o.tasks[i].t.ID] = o.tasks[i].asg
+		}
 	}
 	return out
 }

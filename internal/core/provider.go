@@ -29,6 +29,14 @@ type ProviderConfig struct {
 	HeartbeatEvery float64
 	// Trace receives protocol events (nil = no tracing).
 	Trace trace.Tracer
+
+	// simTransport marks the transport as the cluster's single-threaded
+	// in-engine transport, where a delivered message is consumed before
+	// the sender runs again. It lets the heartbeat loop reuse one message
+	// and task buffer per service instead of allocating per tick. Only
+	// Cluster.AddNode sets it; goroutine-backed transports (internal/live)
+	// must leave it false.
+	simTransport bool
 }
 
 // DefaultProviderConfig is the configuration used by the experiments.
@@ -58,6 +66,19 @@ type compiledKey struct {
 type compiledEntry struct {
 	req qos.Request
 	cp  *CompiledProblem
+
+	// Formulate memo. The Section 5 heuristic is a pure function of the
+	// node's availability vector: the degradation path depends only on
+	// the reward table, and availability merely picks the stopping point
+	// (CanReserve reads nothing but Available()). Formulations are
+	// immutable once built, so when availability has not changed since
+	// the last formulation of this problem the previous result is
+	// returned as-is. Only the single-threaded sim transport uses the
+	// memo; goroutine-backed deployments recompute.
+	lastAvail resource.Vector
+	lastF     *Formulation
+	lastErr   error
+	haveLast  bool
 }
 
 type serviceState struct {
@@ -65,6 +86,8 @@ type serviceState struct {
 	reservations map[string]resource.ReservationID // task -> firm reservation
 	running      map[string]bool                   // task -> data received
 	hbActive     bool
+	hbTick       func()           // persistent heartbeat closure, built once
+	hbMsg        *proto.Heartbeat // reused message (simTransport only)
 }
 
 // Provider is the paper's QoS Provider: "a server that negotiates access
@@ -88,6 +111,7 @@ type Provider struct {
 	holds    map[offerKey]resource.ReservationID
 	compiled map[compiledKey]*compiledEntry
 	down     bool
+	traceOn  bool
 
 	// Stats for the experiments.
 	CFPs      int
@@ -105,8 +129,9 @@ func NewProvider(id radio.NodeID, res *resource.Set, cat *Catalog, tr proto.Tran
 	if cfg.Trace == nil {
 		cfg.Trace = trace.Nop{}
 	}
+	_, nop := cfg.Trace.(trace.Nop)
 	return &Provider{
-		ID: id, Res: res, cat: cat, tr: tr, tm: tm, cfg: cfg,
+		ID: id, Res: res, cat: cat, tr: tr, tm: tm, cfg: cfg, traceOn: !nop,
 		offers:   make(map[offerKey]*Formulation),
 		services: make(map[string]*serviceState),
 		holds:    make(map[offerKey]resource.ReservationID),
@@ -164,11 +189,11 @@ func (p *Provider) onCFP(from radio.NodeID, m *proto.CFP) {
 		if !ok {
 			continue
 		}
-		cp, err := p.compileFor(m.SpecName, td.DemandRef, spec, &td.Request, dm)
+		e, err := p.compileFor(m.SpecName, td.DemandRef, spec, &td.Request, dm)
 		if err != nil {
 			continue
 		}
-		f, err := cp.Formulate(p.Res.CanReserve)
+		f, err := p.formulate(e)
 		if err != nil {
 			continue
 		}
@@ -185,14 +210,35 @@ func (p *Provider) onCFP(from radio.NodeID, m *proto.CFP) {
 		})
 	}
 	if len(reply.Tasks) == 0 {
-		p.emit("no-offer", fmt.Sprintf("service %s round %d: nothing schedulable", m.ServiceID, m.Round))
+		if p.traceOn {
+			p.emit("no-offer", fmt.Sprintf("service %s round %d: nothing schedulable", m.ServiceID, m.Round))
+		}
 		return
 	}
 	p.mu.Lock()
 	p.Proposals++
 	p.mu.Unlock()
-	p.emit("propose", fmt.Sprintf("service %s round %d: %d task(s)", m.ServiceID, m.Round, len(reply.Tasks)))
+	if p.traceOn {
+		p.emit("propose", fmt.Sprintf("service %s round %d: %d task(s)", m.ServiceID, m.Round, len(reply.Tasks)))
+	}
 	p.tr.Send(from, reply)
+}
+
+// formulate runs the compiled problem against current availability,
+// reusing the entry's memoized Formulation when availability is unchanged
+// (see compiledEntry). The memo only engages on the single-threaded sim
+// transport, where the availability snapshot cannot race a reservation.
+func (p *Provider) formulate(e *compiledEntry) (*Formulation, error) {
+	if !p.cfg.simTransport {
+		return e.cp.Formulate(p.Res.CanReserve)
+	}
+	avail := p.Res.Available()
+	if e.haveLast && avail == e.lastAvail {
+		return e.lastF, e.lastErr
+	}
+	f, err := e.cp.Formulate(p.Res.CanReserve)
+	e.lastAvail, e.lastF, e.lastErr, e.haveLast = avail, f, err, true
+	return f, err
 }
 
 // compileFor returns the cached compiled formulation problem for one
@@ -203,13 +249,13 @@ func (p *Provider) onCFP(from radio.NodeID, m *proto.CFP) {
 // The cached request copy guards the cache against a reference ever
 // being reused with a different request: equality is checked and a
 // mismatch recompiles.
-func (p *Provider) compileFor(specName, ref string, spec *qos.Spec, req *qos.Request, dm task.DemandModel) (*CompiledProblem, error) {
+func (p *Provider) compileFor(specName, ref string, spec *qos.Spec, req *qos.Request, dm task.DemandModel) (*compiledEntry, error) {
 	key := compiledKey{spec: specName, ref: ref}
 	p.mu.Lock()
 	e, ok := p.compiled[key]
 	p.mu.Unlock()
 	if ok && e.req.Equal(req) {
-		return e.cp, nil
+		return e, nil
 	}
 	e = &compiledEntry{req: *req}
 	cp, err := CompileProblem(spec, &e.req, dm, p.cfg.GridSteps, p.cfg.Penalty)
@@ -220,7 +266,7 @@ func (p *Provider) compileFor(specName, ref string, spec *qos.Spec, req *qos.Req
 	p.mu.Lock()
 	p.compiled[key] = e
 	p.mu.Unlock()
-	return cp, nil
+	return e, nil
 }
 
 // emit publishes a trace event stamped with this provider's clock.
@@ -317,10 +363,14 @@ func (p *Provider) onAward(from radio.NodeID, m *proto.Award) {
 	}
 	if len(declined) > 0 {
 		ack.Reason = fmt.Sprintf("declined %d of %d tasks (resources changed since proposal)", len(declined), len(m.TaskIDs))
-		p.emit("decline", fmt.Sprintf("service %s: %v", m.ServiceID, declined))
+		if p.traceOn {
+			p.emit("decline", fmt.Sprintf("service %s: %v", m.ServiceID, declined))
+		}
 	}
 	if len(accepted) > 0 {
-		p.emit("reserve", fmt.Sprintf("service %s: %v", m.ServiceID, accepted))
+		if p.traceOn {
+			p.emit("reserve", fmt.Sprintf("service %s: %v", m.ServiceID, accepted))
+		}
 	}
 	p.tr.Send(from, ack)
 }
@@ -354,25 +404,51 @@ func (p *Provider) armHeartbeatLocked(st *serviceState) bool {
 }
 
 func (p *Provider) heartbeatLoop(svc string) {
-	p.tm.After(p.cfg.HeartbeatEvery, func() {
-		p.mu.Lock()
-		st, ok := p.services[svc]
-		if !ok || p.down || len(st.running) == 0 {
-			if ok {
-				st.hbActive = false
-			}
-			p.mu.Unlock()
-			return
-		}
-		tasks := make([]string, 0, len(st.running))
-		for tid := range st.running {
-			tasks = append(tasks, tid)
-		}
-		org := st.organizer
+	p.mu.Lock()
+	st, ok := p.services[svc]
+	if !ok {
 		p.mu.Unlock()
-		p.tr.Send(org, &proto.Heartbeat{ServiceID: svc, TaskIDs: tasks})
-		p.heartbeatLoop(svc)
-	})
+		return
+	}
+	if st.hbTick == nil {
+		// One closure per service for its whole life, not one per tick.
+		st.hbTick = func() { p.heartbeatTick(svc) }
+	}
+	fn := st.hbTick
+	p.mu.Unlock()
+	p.tm.After(p.cfg.HeartbeatEvery, fn)
+}
+
+func (p *Provider) heartbeatTick(svc string) {
+	p.mu.Lock()
+	st, ok := p.services[svc]
+	if !ok || p.down || len(st.running) == 0 {
+		if ok {
+			st.hbActive = false
+		}
+		p.mu.Unlock()
+		return
+	}
+	var msg *proto.Heartbeat
+	if p.cfg.simTransport {
+		// The in-engine transport reads WireSize at send time and the
+		// organizer end consumes only ServiceID, so one message and task
+		// buffer per service is observably identical to fresh copies.
+		if st.hbMsg == nil {
+			st.hbMsg = &proto.Heartbeat{ServiceID: svc}
+		}
+		msg = st.hbMsg
+		msg.TaskIDs = msg.TaskIDs[:0]
+	} else {
+		msg = &proto.Heartbeat{ServiceID: svc, TaskIDs: make([]string, 0, len(st.running))}
+	}
+	for tid := range st.running {
+		msg.TaskIDs = append(msg.TaskIDs, tid)
+	}
+	org := st.organizer
+	p.mu.Unlock()
+	p.tr.Send(org, msg)
+	p.heartbeatLoop(svc)
 }
 
 // onTaskRelease frees one task's reservation without touching the rest
@@ -391,7 +467,9 @@ func (p *Provider) onTaskRelease(_ radio.NodeID, m *proto.TaskRelease) {
 	p.mu.Unlock()
 	if ok {
 		p.Res.Release(id)
-		p.emit("release", fmt.Sprintf("service %s task %s: %s", m.ServiceID, m.TaskID, m.Reason))
+		if p.traceOn {
+			p.emit("release", fmt.Sprintf("service %s task %s: %s", m.ServiceID, m.TaskID, m.Reason))
+		}
 	}
 }
 
@@ -418,7 +496,9 @@ func (p *Provider) AdoptReservation(org radio.NodeID, svc, tid string, demand re
 	if start {
 		p.heartbeatLoop(svc)
 	}
-	p.emit("adopt", fmt.Sprintf("service %s task %s: adopted at demand %v", svc, tid, demand))
+	if p.traceOn {
+		p.emit("adopt", fmt.Sprintf("service %s task %s: adopted at demand %v", svc, tid, demand))
+	}
 	return nil
 }
 
@@ -473,7 +553,9 @@ func (p *Provider) DropTask(svc, tid string) {
 // onDissolve releases every reservation held for the service.
 func (p *Provider) onDissolve(_ radio.NodeID, m *proto.Dissolve) {
 	p.ReleaseService(m.ServiceID)
-	p.emit("dissolve", fmt.Sprintf("service %s: %s", m.ServiceID, m.Reason))
+	if p.traceOn {
+		p.emit("dissolve", fmt.Sprintf("service %s: %s", m.ServiceID, m.Reason))
+	}
 }
 
 // ReleaseService frees all firm reservations and state for a service

@@ -1,0 +1,58 @@
+package fabric
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/adapt"
+)
+
+// TestPathWidthEquivalence crosses the session engine's two
+// implementations with the shard pool's width: the pooled fast path and
+// the retained reference loop, each at parallel 1 and 8, must produce
+// the same Result to the last bit — every shard's stats and the merged
+// city view. This is the fabric-level face of the equivalence harness
+// in internal/session: shards exercise slot recycling concurrently, so
+// a pooled object escaping one shard's engine would show up here as a
+// cross-width or cross-path diff. The churn + adaptation configuration
+// drives the deepest event interleavings (kills, repairs, reboots racing
+// departures) through both paths.
+func TestPathWidthEquivalence(t *testing.T) {
+	build := func(slow bool, parallel int) Config {
+		cfg := testConfig(parallel)
+		cfg.SlowPath = slow
+		cfg.ChurnPerHour, cfg.ChurnDownMean = 240, 20
+		ocfg := cfg.Organizer
+		ocfg.Monitor = false
+		ocfg.Reconfigure = false
+		cfg.Organizer = ocfg
+		cfg.Adapt = &adapt.Config{
+			OnChurn:           adapt.DegradeToFit,
+			DegradeOnPressure: true, UtilHigh: 0.85,
+			UpgradeOnSlack: true, UtilLow: 0.6,
+			Epoch: 10,
+		}
+		return cfg
+	}
+	ref, err := Run(build(true, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.City.Arrivals == 0 || ref.City.NodeLeaves == 0 {
+		t.Fatalf("degenerate reference run: %+v", ref.City)
+	}
+	for _, slow := range []bool{false, true} {
+		for _, parallel := range []int{1, 8} {
+			name := fmt.Sprintf("slow=%v/parallel=%d", slow, parallel)
+			got, err := Run(build(slow, parallel))
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if !reflect.DeepEqual(ref, got) {
+				t.Fatalf("%s diverged from the sequential reference loop:\n ref: %+v\n got: %+v",
+					name, ref.City, got.City)
+			}
+		}
+	}
+}

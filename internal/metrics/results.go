@@ -35,7 +35,11 @@ func NewAccumulator(points, reps int) *Accumulator {
 
 // Put stores the metric vector of one replication. It is safe to call
 // from concurrent workers; each (point, rep) slot must be written at
-// most once.
+// most once. Put retains vec — the caller hands over ownership, so a
+// pooled or per-replication scratch buffer must never be passed here
+// (every experiment body returns a fresh literal). Point builds its
+// Samples by copying element-wise, so results read out of the
+// accumulator are immune to later mutation of the stored vectors.
 func (a *Accumulator) Put(point, rep int, vec []float64) {
 	a.mu.Lock()
 	defer a.mu.Unlock()

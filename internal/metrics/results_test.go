@@ -157,3 +157,38 @@ var errTest = errBoom{}
 type errBoom struct{}
 
 func (errBoom) Error() string { return "boom" }
+
+// TestAccumulatorPointCopies pins the ownership contract on the
+// Put/Point pair: Put retains the caller's vector (so pooled buffers
+// must never be passed), and Point copies element-wise into fresh
+// Samples — mutating a stored vector after Point must not perturb the
+// already-built statistics. This is the accumulator-side face of the
+// session engine's "recycling never aliases folded stats" guarantee.
+func TestAccumulatorPointCopies(t *testing.T) {
+	acc := NewAccumulator(1, 2)
+	v0 := []float64{1, 10}
+	v1 := []float64{3, 30}
+	acc.Put(0, 0, v0)
+	acc.Put(0, 1, v1)
+	samples := acc.Point(0)
+	wantMeans := []float64{2, 20}
+	for k, s := range samples {
+		if s.Mean() != wantMeans[k] {
+			t.Fatalf("column %d mean = %g, want %g", k, s.Mean(), wantMeans[k])
+		}
+	}
+	// Scribble over the stored vectors, as a caller recycling its
+	// buffers would; the Samples built above must not move.
+	v0[0], v0[1] = 999, 999
+	v1[0], v1[1] = 999, 999
+	for k, s := range samples {
+		if s.Mean() != wantMeans[k] {
+			t.Fatalf("column %d mean changed to %g after mutating stored vectors: Point aliases Put's slices", k, s.Mean())
+		}
+	}
+	// A fresh Point over the scribbled state sees the mutation — that is
+	// exactly why Put documents that it retains vec.
+	if got := acc.Point(0)[0].Mean(); got != 999 {
+		t.Fatalf("expected re-read to see the mutation, got mean %g", got)
+	}
+}

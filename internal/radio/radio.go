@@ -135,6 +135,15 @@ type Medium struct {
 	cfg   Config
 	nodes map[NodeID]*nodeState
 
+	// deliveries is a free-list of in-flight delivery records, recycled
+	// when their event fires: one pooled object per message instead of
+	// one closure allocation per send.
+	deliveries []*delivery
+	// bcast is the reused neighbor scratch for SendBroadcast.
+	bcast []NodeID
+	// ids caches the ascending node-ID list; invalidated by Attach.
+	ids []NodeID
+
 	// Stats is exported for experiment harvesting.
 	Stats Stats
 }
@@ -142,6 +151,29 @@ type Medium struct {
 // NewMedium builds a medium on the engine.
 func NewMedium(eng *sim.Engine, cfg Config) *Medium {
 	return &Medium{eng: eng, cfg: cfg, nodes: make(map[NodeID]*nodeState)}
+}
+
+// delivery is one scheduled message delivery, pooled on the medium.
+type delivery struct {
+	m    *Medium
+	from NodeID
+	to   NodeID
+	msg  any
+}
+
+// runDelivery is the shared event handler for every delivery record.
+func runDelivery(x any) {
+	d := x.(*delivery)
+	m := d.m
+	n, ok := m.nodes[d.to]
+	if !ok || n.down || n.handler == nil {
+		m.Stats.Unreachable++
+	} else {
+		m.Stats.Deliveries++
+		n.handler(d.from, d.msg)
+	}
+	d.msg = nil
+	m.deliveries = append(m.deliveries, d)
 }
 
 // Attach registers a node. bitrate is the node's link speed in bits/s,
@@ -157,6 +189,7 @@ func (m *Medium) Attach(id NodeID, mob Mobility, rangeM, bitrate float64, h Hand
 		return fmt.Errorf("radio: node %d needs positive range and bitrate", id)
 	}
 	m.nodes[id] = &nodeState{id: id, mobility: mob, rangeM: rangeM, bitrate: bitrate, handler: h}
+	m.ids = nil // invalidate the cached ID list
 	return nil
 }
 
@@ -208,14 +241,19 @@ func (m *Medium) InRange(a, b NodeID) bool {
 
 // Neighbors returns the IDs currently in range of id, in ascending order.
 func (m *Medium) Neighbors(id NodeID) []NodeID {
-	var out []NodeID
+	return m.neighborsInto(id, nil)
+}
+
+// neighborsInto appends the IDs currently in range of id to buf (reused
+// by SendBroadcast to keep the per-broadcast scan allocation-free).
+func (m *Medium) neighborsInto(id NodeID, buf []NodeID) []NodeID {
 	for other := range m.nodes {
 		if other != id && m.InRange(id, other) {
-			out = append(out, other)
+			buf = append(buf, other)
 		}
 	}
-	sortNodeIDs(out)
-	return out
+	sortNodeIDs(buf)
+	return buf
 }
 
 func sortNodeIDs(ids []NodeID) {
@@ -273,7 +311,8 @@ func (m *Medium) SendBroadcast(from NodeID, msg any, size int) {
 	}
 	m.Stats.Broadcasts++
 	m.Stats.Bytes += uint64(size)
-	for _, to := range m.Neighbors(from) {
+	m.bcast = m.neighborsInto(from, m.bcast[:0])
+	for _, to := range m.bcast {
 		m.deliver(src, to, msg, size)
 	}
 }
@@ -289,19 +328,19 @@ func (m *Medium) deliver(src *nodeState, to NodeID, msg any, size int) {
 		return
 	}
 	lat := m.latency(src, dst, size)
-	from := src.id
-	m.eng.After(lat, func() {
-		n, ok := m.nodes[to]
-		if !ok || n.down || n.handler == nil {
-			m.Stats.Unreachable++
-			return
-		}
-		m.Stats.Deliveries++
-		n.handler(from, msg)
-	})
+	var d *delivery
+	if n := len(m.deliveries); n > 0 {
+		d = m.deliveries[n-1]
+		m.deliveries = m.deliveries[:n-1]
+	} else {
+		d = &delivery{m: m}
+	}
+	d.from, d.to, d.msg = src.id, to, msg
+	m.eng.AfterArg(lat, runDelivery, d)
 }
 
-// NodeIDs returns all attached node IDs in ascending order.
+// NodeIDs returns all attached node IDs in ascending order. The slice is
+// freshly allocated and owned by the caller; hot paths should prefer IDs.
 func (m *Medium) NodeIDs() []NodeID {
 	ids := make([]NodeID, 0, len(m.nodes))
 	for id := range m.nodes {
@@ -309,4 +348,15 @@ func (m *Medium) NodeIDs() []NodeID {
 	}
 	sortNodeIDs(ids)
 	return ids
+}
+
+// IDs returns the cached ascending node-ID list. The slice is shared and
+// MUST be treated as read-only; it is rebuilt after every Attach. Hot
+// per-tick readers (utilization sampling, adaptation scans, churn victim
+// selection) use it to avoid re-sorting the population every event.
+func (m *Medium) IDs() []NodeID {
+	if m.ids == nil {
+		m.ids = m.NodeIDs()
+	}
+	return m.ids
 }

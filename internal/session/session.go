@@ -69,6 +69,13 @@ type Config struct {
 	// teardown (departure or admission failure) with the service ID;
 	// the leak-guard tests hang their reservation-ledger detector here.
 	AfterDeparture func(now float64, svcID string)
+	// SlowPath selects the retained reference implementation of the
+	// session loop: per-arrival session and closure allocations,
+	// closure-chained arrival/churn streams — the pre-pooling engine
+	// kept as the equivalence oracle for the pooled fast path (the
+	// default). Both paths produce byte-identical Stats over any
+	// scenario; the property tests in this package assert it.
+	SlowPath bool
 }
 
 // Stats is the steady-state outcome of a run. Counters cover sessions
@@ -186,13 +193,71 @@ func (s *Stats) ReconfigPerHour(horizon float64) float64 {
 	return float64(s.Reconfigurations) * 3600 / horizon
 }
 
-// liveSession is one operating coalition.
+// liveSession is one operating coalition. On the fast path the record
+// doubles as a slot in the engine's pooled session table: acquired from
+// the free-list at arrival, retired (generation bumped) at teardown and
+// reused by a later arrival. The persistent onFormedFn replaces the
+// per-arrival callback closure the reference loop allocates.
 type liveSession struct {
 	id       string
 	node     radio.NodeID
 	org      *core.Organizer
 	counted  bool // arrived at or after Warmup
 	departed bool
+
+	slot       int    // index in Engine.slots; -1 on the slow path
+	gen        uint64 // bumped at retire; invalidates pooled timer records
+	formed     bool   // first-formation guard (slow path uses a closure var)
+	onFormedFn func(*core.Result)
+}
+
+// departEv is one scheduled holding-time expiry, pooled on the engine.
+// It records the slot's generation at schedule time: a timer that
+// outlives its session (the adapt engine killed it, or the drain beat
+// the timer) fires into a recycled slot and must not touch it.
+type departEv struct {
+	e   *Engine
+	ls  *liveSession
+	gen uint64
+}
+
+// runDepart is the shared event handler for every departEv record.
+func runDepart(x any) {
+	ev := x.(*departEv)
+	e, ls, gen := ev.e, ev.ls, ev.gen
+	ev.ls = nil
+	e.departPool = append(e.departPool, ev)
+	if ls.gen != gen {
+		return // slot recycled since scheduling: the session already ended
+	}
+	e.depart(ls)
+}
+
+// hookEv is one pending AfterDeparture callback, pooled on the engine.
+type hookEv struct {
+	e  *Engine
+	id string
+}
+
+func runHook(x any) {
+	ev := x.(*hookEv)
+	e, id := ev.e, ev.id
+	ev.id = ""
+	e.hookPool = append(e.hookPool, ev)
+	e.cfg.AfterDeparture(e.cl.Eng.Now(), id)
+}
+
+// rebootEv is one pending churn-victim reboot, pooled on the engine.
+type rebootEv struct {
+	e      *Engine
+	victim radio.NodeID
+}
+
+func runReboot(x any) {
+	ev := x.(*rebootEv)
+	e, victim := ev.e, ev.victim
+	e.rebootPool = append(e.rebootPool, ev)
+	e.cl.RebootNode(victim)
 }
 
 // Engine drives the session lifecycle and churn streams over a built
@@ -216,6 +281,21 @@ type Engine struct {
 	liveAvg metrics.TimeAvg
 	utilAvg [resource.NumKinds]metrics.TimeAvg
 	dist    metrics.Sample
+
+	// Pooled fast path (cfg.SlowPath false): the slot-indexed session
+	// table with its free-list, the pooled timer records, the persistent
+	// stream closures, and the churn-candidate scratch.
+	slots       []*liveSession
+	freeSlots   []int
+	departPool  []*departEv
+	hookPool    []*hookEv
+	rebootPool  []*rebootEv
+	arrivalFn   func()
+	churnFn     func()
+	sampleFn    func()
+	nextArrival float64
+	nextChurn   float64
+	candBuf     []radio.NodeID
 }
 
 // New builds an engine over the cluster. The seed derives the engine's
@@ -293,14 +373,33 @@ func (e *Engine) Cluster() *core.Cluster { return e.cl }
 // operating and lets their releases propagate. It returns the
 // steady-state statistics over [Warmup, Horizon].
 func (e *Engine) Run() (*Stats, error) {
-	e.scheduleArrival(0)
+	e.sampleFn = e.sampleTick
+	if e.cfg.SlowPath {
+		e.scheduleArrival(0)
+	} else {
+		// One closure per stream for the whole run; the next-event time
+		// lives on the engine instead of in a fresh closure per event.
+		e.arrivalFn = func() {
+			e.onArrival()
+			e.scheduleArrivalFast(e.nextArrival)
+		}
+		e.scheduleArrivalFast(0)
+	}
 	if e.cfg.Churn != nil {
-		e.scheduleChurn(0)
+		if e.cfg.SlowPath {
+			e.scheduleChurn(0)
+		} else {
+			e.churnFn = func() {
+				e.onLeave()
+				e.scheduleChurnFast(e.nextChurn)
+			}
+			e.scheduleChurnFast(0)
+		}
 	}
 	if e.ad != nil {
 		e.scheduleAdapt()
 	}
-	e.cl.Eng.At(e.cfg.Warmup, e.sampleTick)
+	e.cl.Eng.At(e.cfg.Warmup, e.sampleFn)
 	e.cl.Run(e.cfg.Horizon)
 	if e.err != nil {
 		return nil, e.err
@@ -316,8 +415,8 @@ func (e *Engine) Run() (*Stats, error) {
 	// MaxRounds*(ProposalWait+AckWait), so the deadline loop below
 	// always terminates well inside its iteration budget.
 	e.draining = true
-	for _, ls := range append([]*liveSession(nil), e.live...) {
-		e.depart(ls)
+	for len(e.live) > 0 {
+		e.depart(e.live[0]) // depart always removes the head: arrival order
 	}
 	deadline := e.cfg.Horizon
 	for i := 0; e.forming > 0 && i < 64; i++ {
@@ -349,7 +448,7 @@ func (e *Engine) fail(err error) {
 }
 
 // scheduleArrival chains the session arrival stream from the given
-// simulated time.
+// simulated time (reference loop: a fresh closure per arrival).
 func (e *Engine) scheduleArrival(from float64) {
 	next := e.cfg.Arrivals.Next(from, e.arriveRng)
 	if math.IsInf(next, 1) || next >= e.cfg.Horizon {
@@ -359,6 +458,45 @@ func (e *Engine) scheduleArrival(from float64) {
 		e.onArrival()
 		e.scheduleArrival(next)
 	})
+}
+
+// scheduleArrivalFast chains the arrival stream through the persistent
+// arrivalFn closure; draws and cutoffs are identical to scheduleArrival.
+func (e *Engine) scheduleArrivalFast(from float64) {
+	next := e.cfg.Arrivals.Next(from, e.arriveRng)
+	if math.IsInf(next, 1) || next >= e.cfg.Horizon {
+		return
+	}
+	e.nextArrival = next
+	e.cl.Eng.At(next, e.arrivalFn)
+}
+
+// acquireSlot pops a retired session slot (or grows the table) and
+// resets it for a new occupant. The generation deliberately survives
+// the reset: it was bumped at retire time, which is what invalidates
+// any pooled timer record still pointing at this slot.
+func (e *Engine) acquireSlot() *liveSession {
+	if n := len(e.freeSlots); n > 0 {
+		ls := e.slots[e.freeSlots[n-1]]
+		e.freeSlots = e.freeSlots[:n-1]
+		ls.id, ls.org = "", nil
+		ls.departed, ls.formed = false, false
+		return ls
+	}
+	s := &liveSession{slot: len(e.slots)}
+	s.onFormedFn = func(r *core.Result) {
+		// The first-formation guard: reformation attempts of the same
+		// occupancy re-fire the callback and must not re-admit. A retired
+		// occupant's organizer is dissolved before the slot recycles, so
+		// it can never fire this callback into the next occupant.
+		if s.formed {
+			return
+		}
+		s.formed = true
+		e.onFormed(s, r)
+	}
+	e.slots = append(e.slots, s)
+	return s
 }
 
 // onArrival spawns a session: instantiate the service, pick the
@@ -373,15 +511,24 @@ func (e *Engine) onArrival() {
 	if counted {
 		e.stats.Arrivals++
 	}
-	ls := &liveSession{id: svc.ID, node: node, counted: counted}
-	first := true
-	org, err := e.cl.Submit(now, node, svc, e.cfg.Organizer, func(r *core.Result) {
-		if !first {
-			return
+	var ls *liveSession
+	var cb func(*core.Result)
+	if e.cfg.SlowPath {
+		ls = &liveSession{id: svc.ID, node: node, counted: counted, slot: -1}
+		first := true
+		cb = func(r *core.Result) {
+			if !first {
+				return
+			}
+			first = false
+			e.onFormed(ls, r)
 		}
-		first = false
-		e.onFormed(ls, r)
-	})
+	} else {
+		ls = e.acquireSlot()
+		ls.id, ls.node, ls.counted = svc.ID, node, counted
+		cb = ls.onFormedFn
+	}
+	org, err := e.cl.Submit(now, node, svc, e.cfg.Organizer, cb)
 	if err != nil {
 		e.fail(fmt.Errorf("session: submit %s: %w", svc.ID, err))
 		return
@@ -422,7 +569,14 @@ func (e *Engine) onFormed(ls *liveSession, r *core.Result) {
 		if len(e.live) > e.stats.PeakLive && e.cl.Eng.Now() >= e.cfg.Warmup {
 			e.stats.PeakLive = len(e.live)
 		}
-		e.cl.Eng.After(arrival.Exp(e.holdRng, e.cfg.HoldMean), func() { e.depart(ls) })
+		hold := arrival.Exp(e.holdRng, e.cfg.HoldMean)
+		if e.cfg.SlowPath {
+			e.cl.Eng.After(hold, func() { e.depart(ls) })
+		} else {
+			ev := e.getDepartEv()
+			ev.ls, ev.gen = ls, ls.gen
+			e.cl.Eng.AfterArg(hold, runDepart, ev)
+		}
 		return
 	}
 	if ls.counted {
@@ -481,12 +635,62 @@ func (e *Engine) teardown(ls *liveSession, reason string) {
 		return
 	}
 	if hook := e.cfg.AfterDeparture; hook != nil {
-		id := ls.id
-		e.cl.Eng.After(e.cfg.DepartGrace, func() { hook(e.cl.Eng.Now(), id) })
+		if e.cfg.SlowPath {
+			id := ls.id
+			e.cl.Eng.After(e.cfg.DepartGrace, func() { hook(e.cl.Eng.Now(), id) })
+		} else {
+			ev := e.getHookEv()
+			ev.id = ls.id
+			e.cl.Eng.AfterArg(e.cfg.DepartGrace, runHook, ev)
+		}
+	}
+	if ls.slot >= 0 {
+		e.retireSlot(ls)
 	}
 }
 
-// scheduleChurn chains the node-leave stream from the given time.
+// retireSlot returns a torn-down session to the free-list. The
+// generation bump is the pooled path's reuse guard: any timer record
+// still queued for the old occupant compares generations when it fires
+// and touches nothing.
+func (e *Engine) retireSlot(ls *liveSession) {
+	ls.gen++
+	ls.org = nil
+	ls.id = ""
+	e.freeSlots = append(e.freeSlots, ls.slot)
+}
+
+// getDepartEv pops a pooled departure record, or allocates the first
+// time the pool runs dry.
+func (e *Engine) getDepartEv() *departEv {
+	if n := len(e.departPool); n > 0 {
+		ev := e.departPool[n-1]
+		e.departPool = e.departPool[:n-1]
+		return ev
+	}
+	return &departEv{e: e}
+}
+
+func (e *Engine) getHookEv() *hookEv {
+	if n := len(e.hookPool); n > 0 {
+		ev := e.hookPool[n-1]
+		e.hookPool = e.hookPool[:n-1]
+		return ev
+	}
+	return &hookEv{e: e}
+}
+
+func (e *Engine) getRebootEv() *rebootEv {
+	if n := len(e.rebootPool); n > 0 {
+		ev := e.rebootPool[n-1]
+		e.rebootPool = e.rebootPool[:n-1]
+		return ev
+	}
+	return &rebootEv{e: e}
+}
+
+// scheduleChurn chains the node-leave stream from the given time
+// (reference loop: a fresh closure per leave event).
 func (e *Engine) scheduleChurn(from float64) {
 	next := e.cfg.Churn.Leave.Next(from, e.churnRng)
 	if math.IsInf(next, 1) || next >= e.cfg.Horizon {
@@ -498,15 +702,36 @@ func (e *Engine) scheduleChurn(from float64) {
 	})
 }
 
+// scheduleChurnFast chains the leave stream through the persistent
+// churnFn closure; draws and cutoffs are identical to scheduleChurn.
+func (e *Engine) scheduleChurnFast(from float64) {
+	next := e.cfg.Churn.Leave.Next(from, e.churnRng)
+	if math.IsInf(next, 1) || next >= e.cfg.Horizon {
+		return
+	}
+	e.nextChurn = next
+	e.cl.Eng.At(next, e.churnFn)
+}
+
 // onLeave takes one alive, unprotected node off the air and schedules
 // its reboot. Victims are drawn from the ascending node-ID list so the
 // pick is a pure function of the churn rng.
 func (e *Engine) onLeave() {
 	var candidates []radio.NodeID
-	for _, id := range e.cl.Nodes() {
-		if !e.protected[id] && !e.cl.Medium.Down(id) {
-			candidates = append(candidates, id)
+	if e.cfg.SlowPath {
+		for _, id := range e.cl.Nodes() {
+			if !e.protected[id] && !e.cl.Medium.Down(id) {
+				candidates = append(candidates, id)
+			}
 		}
+	} else {
+		e.candBuf = e.candBuf[:0]
+		for _, id := range e.cl.Medium.IDs() {
+			if !e.protected[id] && !e.cl.Medium.Down(id) {
+				e.candBuf = append(e.candBuf, id)
+			}
+		}
+		candidates = e.candBuf
 	}
 	if len(candidates) == 0 {
 		return
@@ -519,9 +744,16 @@ func (e *Engine) onLeave() {
 			e.kill(svcID)
 		}
 	}
-	e.cl.Eng.After(arrival.Exp(e.churnRng, e.cfg.Churn.DownMean), func() {
-		e.cl.RebootNode(victim)
-	})
+	down := arrival.Exp(e.churnRng, e.cfg.Churn.DownMean)
+	if e.cfg.SlowPath {
+		e.cl.Eng.After(down, func() {
+			e.cl.RebootNode(victim)
+		})
+	} else {
+		ev := e.getRebootEv()
+		ev.victim = victim
+		e.cl.Eng.AfterArg(down, runReboot, ev)
+	}
 }
 
 // scheduleAdapt chains the adaptation engine's clock-driven triggers:
@@ -568,29 +800,47 @@ func (e *Engine) sampleTick() {
 	// Mean QoS distance over live sessions (those with at least one
 	// assigned task). Both loops run in fixed orders — live in arrival
 	// order, tasks in declaration order — so the float summation is
-	// deterministic despite the snapshot being a map.
+	// deterministic despite the assignment state being a map. The fast
+	// path reads the same per-task sum through the allocation-free
+	// accessor; the reference loop keeps the original snapshot copy.
 	var total float64
 	var n int
-	for _, ls := range e.live {
-		snap := ls.org.Snapshot()
-		if len(snap) == 0 {
-			continue
-		}
-		var d float64
-		for _, tk := range ls.org.Service().Tasks {
-			if a, ok := snap[tk.ID]; ok {
-				d += a.Distance
+	if e.cfg.SlowPath {
+		for _, ls := range e.live {
+			snap := ls.org.Snapshot()
+			if len(snap) == 0 {
+				continue
 			}
+			var d float64
+			for _, tk := range ls.org.Service().Tasks {
+				if a, ok := snap[tk.ID]; ok {
+					d += a.Distance
+				}
+			}
+			total += d / float64(len(snap))
+			n++
 		}
-		total += d / float64(len(snap))
-		n++
+	} else {
+		for _, ls := range e.live {
+			cnt, sum := ls.org.AssignedDistanceSum()
+			if cnt == 0 {
+				continue
+			}
+			total += sum / float64(cnt)
+			n++
+		}
 	}
 	if n > 0 {
 		e.dist.Add(total / float64(n))
 	}
 
 	// Per-resource utilization averaged over nodes.
-	nodes := e.cl.Nodes()
+	var nodes []radio.NodeID
+	if e.cfg.SlowPath {
+		nodes = e.cl.Nodes()
+	} else {
+		nodes = e.cl.Medium.IDs()
+	}
 	var util resource.Vector
 	for _, id := range nodes {
 		res := e.cl.Node(id).Res
@@ -606,7 +856,7 @@ func (e *Engine) sampleTick() {
 	}
 
 	if next := now + e.cfg.SampleEvery; next <= e.cfg.Horizon {
-		e.cl.Eng.At(next, e.sampleTick)
+		e.cl.Eng.At(next, e.sampleFn)
 	}
 }
 

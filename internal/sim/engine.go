@@ -3,10 +3,17 @@
 // simultaneous events, and a seeded random source. All experiment tables
 // in this repository are produced on this engine so that every number is
 // reproducible from a seed.
+//
+// The queue is allocation-free on the hot path: events are values in a
+// manually managed binary heap (no container/heap interface boxing, no
+// per-event pointer), and the AtArg/AfterArg variants let callers
+// schedule a shared handler with a pooled argument object instead of
+// allocating a fresh closure per event. Run applies events in per-tick
+// batches drained into a reused buffer, so every event sharing one
+// timestamp is executed in one pass over the heap.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -14,31 +21,22 @@ import (
 // Time is simulated time in seconds since the start of the run.
 type Time = float64
 
-// Event is a scheduled callback.
+// Event is a scheduled callback: either a plain closure (fn) or a shared
+// handler plus argument (afn, arg). Exactly one of fn/afn is set.
 type event struct {
 	at  Time
 	seq uint64
 	fn  func()
+	afn func(any)
+	arg any
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func (ev *event) run() {
+	if ev.fn != nil {
+		ev.fn()
+		return
 	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+	ev.afn(ev.arg)
 }
 
 // Engine drives a single-threaded simulation. It is intentionally not
@@ -46,7 +44,9 @@ func (q *eventQueue) Pop() any {
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventQueue
+	heap    []event
+	batch   []event // reused per-tick batch buffer
+	nbatch  int     // batch entries not yet executed (for Pending)
 	rng     *rand.Rand
 	stopped bool
 
@@ -72,7 +72,20 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+	e.push(event{at: t, seq: e.seq, fn: fn})
+}
+
+// AtArg schedules the shared handler fn with arg at absolute time t.
+// It is the allocation-free twin of At: callers that would otherwise
+// build a fresh closure per event pass one long-lived handler and a
+// (typically pooled) argument instead. Ordering and semantics are
+// identical to At.
+func (e *Engine) AtArg(t Time, fn func(any), arg any) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
+	}
+	e.seq++
+	e.push(event{at: t, seq: e.seq, afn: fn, arg: arg})
 }
 
 // After schedules fn d seconds from now; negative delays clamp to zero.
@@ -83,36 +96,124 @@ func (e *Engine) After(d float64, fn func()) {
 	e.At(e.now+d, fn)
 }
 
+// AfterArg schedules the shared handler fn with arg d seconds from now;
+// negative delays clamp to zero.
+func (e *Engine) AfterArg(d float64, fn func(any), arg any) {
+	if d < 0 {
+		d = 0
+	}
+	e.AtArg(e.now+d, fn, arg)
+}
+
 // Stop makes Run return after the current event.
 func (e *Engine) Stop() { e.stopped = true }
+
+// less orders events by (time, schedule sequence): stable FIFO for
+// simultaneous events.
+func (e *Engine) less(i, j int) bool {
+	if e.heap[i].at != e.heap[j].at {
+		return e.heap[i].at < e.heap[j].at
+	}
+	return e.heap[i].seq < e.heap[j].seq
+}
+
+// push inserts ev into the value heap (sift-up).
+func (e *Engine) push(ev event) {
+	e.heap = append(e.heap, ev)
+	i := len(e.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event (sift-down).
+func (e *Engine) pop() event {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // release fn/arg references
+	e.heap = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		min := l
+		if r < n && e.less(r, l) {
+			min = r
+		}
+		if !e.less(min, i) {
+			break
+		}
+		e.heap[i], e.heap[min] = e.heap[min], e.heap[i]
+		i = min
+	}
+	return top
+}
 
 // Step executes the next event, returning false when the queue is empty
 // or the engine is stopped.
 func (e *Engine) Step() bool {
-	if e.stopped || e.queue.Len() == 0 {
+	if e.stopped || len(e.heap) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*event)
+	ev := e.pop()
 	e.now = ev.at
 	e.Processed++
-	ev.fn()
+	ev.run()
 	return true
 }
 
 // Run executes events until the queue drains, Stop is called, or the
 // clock passes until (until <= 0 means no horizon). It returns the final
 // simulated time.
+//
+// Events are applied in per-tick batches: every event sharing the head
+// timestamp is drained into a reused buffer and executed in schedule
+// order in one pass, so simultaneous arrivals/departures/timers share a
+// single heap drain. Events scheduled during a batch at the same
+// timestamp carry higher sequence numbers and run in the next batch —
+// exactly the (time, sequence) order of one-at-a-time stepping.
 func (e *Engine) Run(until Time) Time {
-	for !e.stopped && e.queue.Len() > 0 {
-		next := e.queue[0].at
+	for !e.stopped && len(e.heap) > 0 {
+		next := e.heap[0].at
 		if until > 0 && next > until {
 			e.now = until
 			break
 		}
-		e.Step()
+		// Drain the tick's batch; pop order is ascending (at, seq).
+		e.batch = e.batch[:0]
+		for len(e.heap) > 0 && e.heap[0].at == next {
+			e.batch = append(e.batch, e.pop())
+		}
+		e.now = next
+		e.nbatch = len(e.batch)
+		for i := range e.batch {
+			if e.stopped {
+				// Reinsert the unexecuted tail so Stop leaves the queue
+				// exactly as one-at-a-time stepping would.
+				for j := i; j < len(e.batch); j++ {
+					e.push(e.batch[j])
+				}
+				break
+			}
+			e.Processed++
+			e.nbatch--
+			e.batch[i].run()
+			e.batch[i] = event{} // release fn/arg references
+		}
+		e.nbatch = 0
 	}
 	return e.now
 }
 
-// Pending returns the number of queued events.
-func (e *Engine) Pending() int { return e.queue.Len() }
+// Pending returns the number of queued events, including any events of
+// the current tick's batch that have not yet executed.
+func (e *Engine) Pending() int { return len(e.heap) + e.nbatch }

@@ -2,7 +2,9 @@ package workload
 
 import (
 	"fmt"
+	"sync"
 
+	"repro/internal/qos"
 	"repro/internal/task"
 )
 
@@ -22,20 +24,64 @@ type SessionTemplate struct {
 	Scale float64
 }
 
+// tmplShared holds the per-template immutable parts every instance
+// shares: the spec, the request, the demand model, and the per-task ID
+// and demand-reference strings. Building them once per template (not
+// once per arriving session) keeps the open-system arrival path nearly
+// allocation-free; all of it is read-only after construction, so
+// concurrent shards instantiating the same template may share freely.
+type tmplShared struct {
+	spec *qos.Spec
+	req  qos.Request
+	dem  task.DemandModel
+	ids  []string
+	refs []string
+}
+
+var (
+	tmplMu    sync.Mutex
+	tmplCache = map[SessionTemplate]*tmplShared{}
+)
+
+// shared returns the memoized immutable parts for this template value.
+func (st SessionTemplate) shared() *tmplShared {
+	tmplMu.Lock()
+	defer tmplMu.Unlock()
+	if sh, ok := tmplCache[st]; ok {
+		return sh
+	}
+	sh := &tmplShared{
+		spec: VideoSpec(),
+		req:  StreamingRequest(st.Name),
+		dem:  VideoDemand(st.Scale),
+	}
+	for i := 0; i < st.Tasks; i++ {
+		sh.ids = append(sh.ids, fmt.Sprintf("t%d", i))
+		sh.refs = append(sh.refs, fmt.Sprintf("tmpl:%s/t%d", st.Name, i))
+	}
+	tmplCache[st] = sh
+	return sh
+}
+
 // Instantiate builds the seq-th session service. Service IDs embed the
 // sequence number ("<name>-s<seq>") so reservations and protocol
-// traffic of concurrent sessions stay distinct, while demand
-// references and requests are shared template-wide.
+// traffic of concurrent sessions stay distinct, while the spec, the
+// requests, the demand models and the demand references are shared
+// template-wide (and treated as read-only by every consumer).
 func (st SessionTemplate) Instantiate(seq int) *task.Service {
-	svc := &task.Service{ID: fmt.Sprintf("%s-s%d", st.Name, seq), Spec: VideoSpec()}
+	sh := st.shared()
+	svc := &task.Service{ID: fmt.Sprintf("%s-s%d", st.Name, seq), Spec: sh.spec}
+	svc.Tasks = make([]*task.Task, st.Tasks)
+	tasks := make([]task.Task, st.Tasks)
 	for i := 0; i < st.Tasks; i++ {
-		svc.Tasks = append(svc.Tasks, &task.Task{
-			ID:        fmt.Sprintf("t%d", i),
-			Request:   StreamingRequest(st.Name),
-			Demand:    VideoDemand(st.Scale),
-			DemandRef: fmt.Sprintf("tmpl:%s/t%d", st.Name, i),
+		tasks[i] = task.Task{
+			ID:        sh.ids[i],
+			Request:   sh.req,
+			Demand:    sh.dem,
+			DemandRef: sh.refs[i],
 			InBytes:   24 * 1024, OutBytes: 8 * 1024,
-		})
+		}
+		svc.Tasks[i] = &tasks[i]
 	}
 	return svc
 }

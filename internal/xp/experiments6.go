@@ -69,6 +69,7 @@ func E17OfferedLoad(cfg Config) (*metrics.Table, error) {
 			Horizon:    horizon,
 			Warmup:     warmup,
 			Organizer:  core.DefaultOrganizerConfig,
+			SlowPath:   cfg.SlowPath,
 		})
 		if err != nil {
 			return nil, err
@@ -143,6 +144,7 @@ func E18ArrivalShapes(cfg Config) (*metrics.Table, error) {
 			Horizon:    horizon,
 			Warmup:     warmup,
 			Organizer:  core.DefaultOrganizerConfig,
+			SlowPath:   cfg.SlowPath,
 		})
 		if err != nil {
 			return nil, err
@@ -192,6 +194,7 @@ func E19CombinedChurn(cfg Config) (*metrics.Table, error) {
 			Horizon:    horizon,
 			Warmup:     warmup,
 			Organizer:  core.DefaultOrganizerConfig,
+			SlowPath:   cfg.SlowPath,
 		}
 		if lph > 0 {
 			scfg.Churn = &session.ChurnConfig{

@@ -54,6 +54,7 @@ func E22AdaptChurn(cfg Config) (*metrics.Table, error) {
 			Horizon:    horizon,
 			Warmup:     warmup,
 			Organizer:  adaptOrganizer(),
+			SlowPath:   cfg.SlowPath,
 			Churn: &session.ChurnConfig{
 				Leave:    arrival.Poisson{Rate: leavesPerHour / 3600},
 				DownMean: 30,
@@ -114,6 +115,7 @@ func E23UpgradeReclamation(cfg Config) (*metrics.Table, error) {
 			Horizon:    horizon,
 			Warmup:     warmup,
 			Organizer:  adaptOrganizer(),
+			SlowPath:   cfg.SlowPath,
 		}
 		if policy != "fixed" {
 			scfg.Adapt = &adapt.Config{
@@ -181,6 +183,7 @@ func E24CityAdaptation(cfg Config) (*metrics.Table, error) {
 			},
 			Parallel: cfg.Parallel,
 			Seed:     rep.Seed,
+			SlowPath: cfg.SlowPath,
 		})
 		if err != nil {
 			return nil, err

@@ -14,7 +14,9 @@
 # point, adding the E17 open-system sweep. BENCH_PR4.json is the third,
 # adding the city-fabric weak-scaling benchmark and the E20 shard sweep.
 # BENCH_PR5.json is the fourth, adding the E22 adaptation-under-churn
-# sweep.
+# sweep. BENCH_PR6.json is the fifth, capturing the pooled session
+# engine: the E17 allocation drop and the new sessions-per-second
+# weak-scaling benchmark.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,8 +33,9 @@ run_bench() { # pkg, pattern
 # counterparts, the end-to-end E1/E5/E16 sweeps, the E17 open-system
 # (session churn) sweep, the city fabric (E20 shard sweep plus the
 # weak-scaling benchmark at 1 and 8 shards), and the E22 mid-session
-# adaptation sweep.
-run_bench . 'BenchmarkFormulate$|BenchmarkFormulateOneShot$|BenchmarkFormulateExhaustive$|BenchmarkDistanceEval$|BenchmarkE1AcceptanceVsNodes$|BenchmarkE5HeuristicVsOptimal$|BenchmarkE16OptimalScaling$|BenchmarkE17OfferedLoad$|BenchmarkE20ShardScaling$|BenchmarkE22AdaptChurn$|BenchmarkCityFabric/shards=1$|BenchmarkCityFabric/shards=8$'
+# adaptation sweep, and the sessions-per-second weak-scaling benchmark
+# (the pooled engine's throughput headline, at 1 and 8 workers).
+run_bench . 'BenchmarkFormulate$|BenchmarkFormulateOneShot$|BenchmarkFormulateExhaustive$|BenchmarkDistanceEval$|BenchmarkE1AcceptanceVsNodes$|BenchmarkE5HeuristicVsOptimal$|BenchmarkE16OptimalScaling$|BenchmarkE17OfferedLoad$|BenchmarkE20ShardScaling$|BenchmarkE22AdaptChurn$|BenchmarkCityFabric/shards=1$|BenchmarkCityFabric/shards=8$|BenchmarkSessionsPerSecond/workers=1$|BenchmarkSessionsPerSecond/workers=8$'
 run_bench ./internal/qos 'BenchmarkDistance$|BenchmarkDistanceCompiled$|BenchmarkReward$|BenchmarkRewardCompiled$|BenchmarkBuildLadder$'
 run_bench ./internal/baseline 'BenchmarkOptimal$|BenchmarkOptimalExhaustive$|BenchmarkOptimalLarge$'
 

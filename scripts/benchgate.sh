@@ -34,7 +34,7 @@ threshold="${THRESHOLD:-40}"
 
 run_gate_benchmarks() {
   go test -run '^$' -benchmem -benchtime "$benchtime" -count "$count" \
-    -bench 'BenchmarkFormulate$|BenchmarkDistanceEval$|BenchmarkSweepParallel/workers=1$|BenchmarkCityFabric/shards=8$' .
+    -bench 'BenchmarkFormulate$|BenchmarkDistanceEval$|BenchmarkSweepParallel/workers=1$|BenchmarkCityFabric/shards=8$|BenchmarkSessionsPerSecond/workers=1$' .
   go test -run '^$' -benchmem -benchtime "$benchtime" -count "$count" \
     -bench 'BenchmarkOptimal$' ./internal/baseline
 }

@@ -9,11 +9,20 @@
 #   E22-E24  the mid-session adaptation engine, which must stay a pure
 #            function of (cluster, config, seed) at any width (PR 5)
 #
+# Since PR 6 the session engine has two implementations — the pooled
+# fast path (default) and the retained -slowpath reference loop — so
+# each experiment is checked twice over:
+#
+#   parallel 1 vs parallel 8      on the pooled fast path
+#   fast path vs -slowpath        at parallel 8 (the equivalence gate)
+#
 # Usage: scripts/determinism.sh [EXPERIMENT...]   (default: E1 E17 E20 E22 E23 E24)
 #
-# Only wall-clock lines ("elapsed") may differ between widths; any other
+# Only wall-clock lines ("elapsed") may differ between runs; any other
 # byte is a determinism regression in a worker pool, an accumulator, or
-# an experiment body drawing randomness outside its replication's rng.
+# an experiment body drawing randomness outside its replication's rng —
+# or, on the fast-vs-slowpath diff, a pooled object leaking state
+# between sessions.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,12 +39,20 @@ status=0
 for e in "${exps[@]}"; do
   p1="$(dirname "$bin")/$e.p1.txt"
   p8="$(dirname "$bin")/$e.p8.txt"
+  ref="$(dirname "$bin")/$e.slow.txt"
   "$bin" -run "$e" -quick -parallel 1 | grep -v elapsed > "$p1"
   "$bin" -run "$e" -quick -parallel 8 | grep -v elapsed > "$p8"
   if diff -u "$p1" "$p8"; then
     echo "determinism: $e OK (parallel 1 == parallel 8)"
   else
     echo "determinism: $e FAILED — table depends on worker-pool width" >&2
+    status=1
+  fi
+  "$bin" -run "$e" -quick -parallel 8 -slowpath | grep -v elapsed > "$ref"
+  if diff -u "$ref" "$p8"; then
+    echo "determinism: $e OK (fast path == slowpath reference)"
+  else
+    echo "determinism: $e FAILED — pooled fast path diverges from the reference loop" >&2
     status=1
   fi
 done
