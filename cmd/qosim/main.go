@@ -14,13 +14,19 @@
 // prints steady-state statistics:
 //
 //	qosim -open [-rate F] [-hold F] [-horizon F] [-churn F]
-//	      [-adapt off|kill|migrate|degrade]
+//	      [-adapt off|kill|migrate|degrade] [-faults]
 //
 // -churn sets node leaves per hour; -adapt picks the mid-session QoS
 // adaptation policy applied when churn orphans a live session's tasks
 // (see internal/adapt). "degrade" additionally enables
 // utilisation-pressure QoS shedding and epoch-driven upgrade
 // reclamation at the engine defaults.
+//
+// -faults is the chaos quick-start: it runs the open system against a
+// representative deterministic fault plan (i.i.d. + bursty loss, delay
+// spikes, duplication, node freezes, transient 2-way partitions; see
+// internal/faults) with the protocol's reliability layer on, and
+// reports what the adversary did and what the hardening recovered.
 package main
 
 import (
@@ -34,7 +40,10 @@ import (
 	"repro/internal/adapt"
 	"repro/internal/arrival"
 	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/proto"
 	"repro/internal/qos"
+	"repro/internal/radio"
 	"repro/internal/resource"
 	"repro/internal/session"
 	"repro/internal/task"
@@ -62,6 +71,7 @@ type options struct {
 	churn    float64
 	adapt    string
 	slowpath bool
+	faults   bool
 }
 
 // parseFlags parses args (without the program name) into options.
@@ -86,6 +96,7 @@ func parseFlags(args []string, errw io.Writer) (*options, error) {
 	fs.Float64Var(&o.churn, "churn", 0, "open mode: node leaves per hour (0 = no churn)")
 	fs.StringVar(&o.adapt, "adapt", "off", "open mode: mid-session QoS adaptation: off | kill | migrate | degrade")
 	fs.BoolVar(&o.slowpath, "slowpath", false, "open mode: drive the reference (unpooled) session loop; output is bit-identical to the default fast path")
+	fs.BoolVar(&o.faults, "faults", false, "open mode: inject the representative deterministic fault plan with the reliability layer on")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -107,6 +118,9 @@ func runOpen(o *options, out io.Writer) error {
 	// No churn-proof access-point giant: churn and adaptation act on
 	// real coalitions.
 	scfg.Mix = workload.ChurnMix
+	if o.faults {
+		scfg.Retry = proto.DefaultRetryConfig
+	}
 	sc, err := workload.Build(scfg)
 	if err != nil {
 		return err
@@ -126,6 +140,23 @@ func runOpen(o *options, out io.Writer) error {
 			Leave:    arrival.Poisson{Rate: o.churn / 3600},
 			DownMean: 30,
 		}
+	}
+	var inj *faults.Injector
+	if o.faults {
+		plan := faults.Plan{
+			Loss:      0.05,
+			Burst:     &faults.BurstLoss{LossOn: 0.8, MeanOn: 3, MeanOff: 30},
+			DelayProb: 0.05, DelayMean: 0.1,
+			DupProb: 0.05, DupLag: 0.02,
+			Freeze:    &faults.FreezePlan{Rate: 0.02, MeanDur: 20, Protected: []radio.NodeID{0}},
+			Partition: &faults.PartitionPlan{K: 2, Every: 120, Len: 15},
+		}
+		inj, err = faults.New(o.seed, o.horizon, sc.Cluster.Nodes(), plan)
+		if err != nil {
+			return err
+		}
+		cfg.Faults = inj
+		cfg.ReconcileEvery = 10
 	}
 	if o.adapt != "off" {
 		policy := adapt.KillAffected
@@ -166,6 +197,19 @@ func runOpen(o *options, out io.Writer) error {
 		a := st.Adapt
 		fmt.Fprintf(out, "adaptation (%s): %d repairs, %d degrades, %d upgrades, %d kills, drift %.4f\n",
 			o.adapt, a.Repairs, a.Degrades, a.Upgrades, a.Kills, a.MeanDrift())
+	}
+	if inj != nil {
+		fs := inj.Stats
+		fmt.Fprintf(out, "faults: %d loss drops, %d freeze drops, %d partition drops, %d delayed, %d duplicated\n",
+			fs.Drops, fs.FreezeDrops, fs.PartitionDrops, fs.Delayed, fs.Dups)
+		var retx, dups uint64
+		for _, id := range sc.Cluster.Nodes() {
+			n := sc.Cluster.Node(id)
+			retx += n.Retransmissions()
+			dups += n.Duplicates()
+		}
+		fmt.Fprintf(out, "hardening: %d retransmissions, %d duplicates suppressed, %d freezes bridged, %d orphaned reservations reclaimed\n",
+			retx, dups, st.Freezes, st.Reclaimed)
 	}
 	return nil
 }

@@ -128,3 +128,31 @@ func TestRunOpenMode(t *testing.T) {
 		t.Error("bogus -adapt policy accepted")
 	}
 }
+
+// TestRunFaultsMode exercises the chaos quick-start: the representative
+// fault plan runs to completion, reports the adversary's counters and
+// the hardening's recovery work, and stays deterministic per seed.
+func TestRunFaultsMode(t *testing.T) {
+	render := func() string {
+		var out bytes.Buffer
+		o, err := parseFlags([]string{
+			"-open", "-faults", "-horizon", "400", "-rate", "0.1", "-tasks", "2", "-scale", "1",
+		}, io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := run(o, &out); err != nil {
+			t.Fatalf("-faults: %v\noutput:\n%s", err, out.String())
+		}
+		return out.String()
+	}
+	got := render()
+	for _, want := range []string{"faults:", "hardening:", "retransmissions", "reclaimed"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("-faults output missing %q:\n%s", want, got)
+		}
+	}
+	if again := render(); again != got {
+		t.Errorf("-faults is not deterministic per seed:\n--- a ---\n%s--- b ---\n%s", got, again)
+	}
+}

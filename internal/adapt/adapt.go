@@ -241,6 +241,11 @@ type Engine struct {
 	stops    map[*core.CompiledProblem][]pathStop
 	sessions map[string]*state
 	order    []string // svcIDs in admission order
+	// avoid marks nodes the engine must not place on or renegotiate
+	// with: frozen nodes (internal/faults) whose radio is blackholed but
+	// whose process — and reservation ledger — is still alive, so they
+	// are neither Down nor usable (see SetAvoid, NodeUnreachable).
+	avoid map[radio.NodeID]bool
 
 	// Steady-state scratch and free-lists: open-system runs admit and
 	// forget sessions continuously, so session records, task records and
@@ -271,7 +276,20 @@ func New(cl *core.Cluster, cfg Config, countFrom float64) (*Engine, error) {
 		compiled:  make(map[compiledKey]*compiledEntry),
 		stops:     make(map[*core.CompiledProblem][]pathStop),
 		sessions:  make(map[string]*state),
+		avoid:     make(map[radio.NodeID]bool),
 	}, nil
+}
+
+// SetAvoid marks or unmarks a node as unreachable-but-alive (frozen):
+// avoided nodes are skipped as re-placement candidates and exempt from
+// direct reservation resizes — a call into a node the radio cannot
+// reach would model messages a partition is supposed to be dropping.
+func (e *Engine) SetAvoid(id radio.NodeID, avoid bool) {
+	if avoid {
+		e.avoid[id] = true
+	} else {
+		delete(e.avoid, id)
+	}
 }
 
 // Config returns the engine's normalized configuration.
@@ -472,6 +490,58 @@ func (e *Engine) NodeDown(now float64) (killed []string) {
 	return killed
 }
 
+// NodeUnreachable repairs every live session with a task on a node
+// that froze: still alive and holding its reservations, but radio-dark,
+// so no message in either direction will land until it thaws. Unlike
+// NodeDown the orphans' reservations are NOT dropped — the frozen
+// process still accounts them, and only the owner's reconciliation
+// sweep may reclaim them after the thaw (DESIGN.md §12). Callers
+// should SetAvoid(id, true) first so re-placements skip the node. It
+// returns the sessions the engine decided to kill, in admission order.
+func (e *Engine) NodeUnreachable(now float64, id radio.NodeID) (killed []string) {
+	counts := e.counts(now)
+	e.orderScratch = append(e.orderScratch[:0], e.order...)
+	for _, svcID := range e.orderScratch {
+		st, ok := e.sessions[svcID]
+		if !ok {
+			continue
+		}
+		orphans := e.orphanBuf[:0]
+		for _, ts := range st.tasks {
+			if ts.node == id {
+				orphans = append(orphans, ts)
+			}
+		}
+		e.orphanBuf = orphans[:0]
+		if len(orphans) == 0 {
+			continue
+		}
+		if counts {
+			e.stats.Triggers++
+		}
+		if e.cfg.OnChurn == KillAffected {
+			killed = append(killed, e.kill(now, st, counts))
+			continue
+		}
+		dead := false
+		repaired := 0
+		for _, ts := range orphans {
+			if !e.replace(now, st, ts, counts) {
+				dead = true
+				break
+			}
+			repaired++
+		}
+		if dead {
+			if counts {
+				e.stats.Repairs -= repaired
+			}
+			killed = append(killed, e.kill(now, st, counts))
+		}
+	}
+	return killed
+}
+
 // kill marks the session dead and records the event; the owner performs
 // the actual teardown (which calls Forget).
 func (e *Engine) kill(now float64, st *state, counts bool) string {
@@ -515,7 +585,7 @@ func (e *Engine) replace(now float64, st *state, ts *taskState, counts bool) boo
 		stops = e.stopsFor(ts.cp)
 	}
 	for _, id := range e.cl.Medium.IDs() {
-		if e.cl.Medium.Down(id) {
+		if e.cl.Medium.Down(id) || e.avoid[id] {
 			continue
 		}
 		if id != st.orgNode && !e.cl.Medium.InRange(st.orgNode, id) {
@@ -660,7 +730,7 @@ func (e *Engine) Tick(now float64) {
 	}
 	counts := e.counts(now)
 	for _, id := range e.cl.Medium.IDs() {
-		if e.cl.Medium.Down(id) {
+		if e.cl.Medium.Down(id) || e.avoid[id] {
 			continue
 		}
 		if e.nodeUtil(id) <= e.cfg.UtilHigh {
@@ -788,7 +858,7 @@ func (e *Engine) EpochScan(now float64) {
 // upgradeStep pops one entry of the task's degrade history when the
 // richer level fits under the UtilLow ceiling, applying it exactly.
 func (e *Engine) upgradeStep(now float64, st *state, ts *taskState) bool {
-	if len(ts.hist) == 0 || e.cl.Medium.Down(ts.node) {
+	if len(ts.hist) == 0 || e.cl.Medium.Down(ts.node) || e.avoid[ts.node] {
 		return false
 	}
 	prev := ts.hist[len(ts.hist)-1]

@@ -38,7 +38,21 @@ type Node struct {
 
 	tr         proto.Transport
 	organizers map[string]*Organizer
+	reliable   *proto.Reliable // non-nil when the cluster retries
+	dedup      proto.Dedup     // receiver-side duplicate filter
 }
+
+// Retransmissions reports the retry sends this node's reliability layer
+// issued (0 when retries are disabled).
+func (n *Node) Retransmissions() uint64 {
+	if n.reliable == nil {
+		return 0
+	}
+	return n.reliable.Retransmissions()
+}
+
+// Duplicates reports the sequenced deliveries this node suppressed.
+func (n *Node) Duplicates() uint64 { return n.dedup.Duplicates }
 
 // Cluster assembles the full simulated system on a discrete-event engine:
 // the radio medium, the node population, the shared application catalog,
@@ -49,6 +63,7 @@ type Cluster struct {
 	Catalog *Catalog
 
 	providerCfg ProviderConfig
+	retry       proto.RetryConfig
 	nodes       map[radio.NodeID]*Node
 
 	// selfSends is a free-list of pooled local-dispatch records: sends to
@@ -67,6 +82,19 @@ func NewCluster(seed int64, radioCfg radio.Config, providerCfg ProviderConfig) *
 		providerCfg: providerCfg,
 		nodes:       make(map[radio.NodeID]*Node),
 	}
+}
+
+// SetRetry enables the at-least-once reliability layer for every node
+// added afterwards: protocol sends are wrapped in sequence-numbered
+// envelopes and blindly retransmitted per cfg, with receiver-side
+// deduplication in dispatch. It must be called before the first AddNode
+// so all nodes speak the same discipline.
+func (c *Cluster) SetRetry(cfg proto.RetryConfig) error {
+	if len(c.nodes) > 0 {
+		return fmt.Errorf("core: SetRetry must precede AddNode (%d nodes exist)", len(c.nodes))
+	}
+	c.retry = cfg
+	return nil
 }
 
 // simTimers adapts the engine to proto.Timers.
@@ -155,6 +183,10 @@ func (c *Cluster) AddNode(spec NodeSpec) (*Node, error) {
 		n.Res = resource.NewSet(spec.Capacity)
 	}
 	n.tr = simTransport{c: c, id: spec.ID}
+	if c.retry.Enabled() {
+		n.reliable = proto.NewReliable(n.tr, simTimers{c.Eng}, c.retry)
+		n.tr = n.reliable
+	}
 	pcfg := c.providerCfg
 	pcfg.simTransport = true
 	n.Provider = NewProvider(spec.ID, n.Res, c.Catalog, n.tr, simTimers{c.Eng}, pcfg)
@@ -199,6 +231,15 @@ func (c *Cluster) runBattery(id radio.NodeID, bat *resource.Battery) {
 func (c *Cluster) dispatch(at, from radio.NodeID, m proto.Msg) {
 	n, ok := c.nodes[at]
 	if !ok {
+		return
+	}
+	// Idempotence half of the reliability layer: peel the sequence
+	// envelope and drop retransmitted or fault-duplicated deliveries
+	// before any handler mutates state. Unsequenced messages (seq 0)
+	// pass untouched, so the default configuration takes this path with
+	// zero behavioral change.
+	m, seq := proto.Unwrap(m)
+	if n.dedup.Duplicate(from, seq) {
 		return
 	}
 	switch msg := m.(type) {

@@ -240,6 +240,19 @@ func (o *Organizer) State() CoalitionState {
 	return o.state
 }
 
+// Quiescent reports whether the coalition is operating with no
+// negotiation round in flight: no proposal collection and no
+// improvement renegotiation. The reservation-reconciliation sweep only
+// reads a live session's assignments in this state — mid-round, a
+// provider may legitimately hold a reservation the organizer has not
+// published yet (award sent, ack pending), which a sweep must not
+// mistake for an orphan.
+func (o *Organizer) Quiescent() bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.state == Operating && !o.collect && !o.improving
+}
+
 // Service returns the negotiated service.
 func (o *Organizer) Service() *task.Service { return o.svc }
 
@@ -479,7 +492,7 @@ func (o *Organizer) onAwardAck(from radio.NodeID, m *proto.AwardAck) {
 		if o.traceOn {
 			o.emit("upgrade", fmt.Sprintf("service %s: task %s migrated node %d -> %d", svcID, r.tid, r.node, from))
 		}
-		o.tr.Send(r.node, &proto.TaskRelease{ServiceID: svcID, TaskID: r.tid, Reason: "migrated to a closer-to-preference proposal"})
+		o.tr.Send(r.node, &proto.TaskRelease{ServiceID: svcID, TaskID: r.tid, Round: m.Round, Reason: "migrated to a closer-to-preference proposal"})
 	}
 }
 

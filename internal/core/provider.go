@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/proto"
@@ -81,10 +82,20 @@ type compiledEntry struct {
 	haveLast  bool
 }
 
+// reservationEntry is one firm reservation plus the negotiation round
+// that placed it. The round guards release replay: a TaskRelease issued
+// for an old placement (then delayed or duplicated by a faulty medium)
+// must not free a reservation a later round re-awarded to the same node
+// (DESIGN.md §12).
+type reservationEntry struct {
+	id    resource.ReservationID
+	round int
+}
+
 type serviceState struct {
 	organizer    radio.NodeID
-	reservations map[string]resource.ReservationID // task -> firm reservation
-	running      map[string]bool                   // task -> data received
+	reservations map[string]reservationEntry // task -> firm reservation
+	running      map[string]bool             // task -> data received
 	hbActive     bool
 	hbTick       func()           // persistent heartbeat closure, built once
 	hbMsg        *proto.Heartbeat // reused message (simTransport only)
@@ -118,6 +129,9 @@ type Provider struct {
 	Proposals int
 	Accepts   int
 	Declines  int
+	// StaleReleases counts TaskRelease messages refused because their
+	// round predated the round that placed the current reservation.
+	StaleReleases int
 }
 
 // NewProvider wires a provider to its node's resources, the shared
@@ -350,7 +364,7 @@ func (p *Provider) onAward(from radio.NodeID, m *proto.Award) {
 		p.mu.Lock()
 		st := p.serviceStateLocked(m.ServiceID)
 		st.organizer = from
-		st.reservations[tid] = firm
+		st.reservations[tid] = reservationEntry{id: firm, round: m.Round}
 		p.mu.Unlock()
 	}
 	p.mu.Lock()
@@ -452,14 +466,24 @@ func (p *Provider) heartbeatTick(svc string) {
 }
 
 // onTaskRelease frees one task's reservation without touching the rest
-// of the service (quality-upgrade migration).
+// of the service (quality-upgrade migration). Releases stamped with a
+// round older than the round that placed the current reservation are
+// refused: they are replays of a release that already did its work
+// before the task came back to this node, and honouring them would free
+// the newer placement (the Section §12 replay-safety guard, on top of
+// the sequence-number dedup that covers retransmitted traffic).
 func (p *Provider) onTaskRelease(_ radio.NodeID, m *proto.TaskRelease) {
 	p.mu.Lock()
 	st, ok := p.services[m.ServiceID]
 	var id resource.ReservationID
 	if ok {
-		id, ok = st.reservations[m.TaskID]
-		if ok {
+		var entry reservationEntry
+		entry, ok = st.reservations[m.TaskID]
+		if ok && m.Round < entry.round {
+			p.StaleReleases++
+			ok = false
+		} else if ok {
+			id = entry.id
 			delete(st.reservations, m.TaskID)
 			delete(st.running, m.TaskID)
 		}
@@ -489,7 +513,9 @@ func (p *Provider) AdoptReservation(org radio.NodeID, svc, tid string, demand re
 	p.mu.Lock()
 	st := p.serviceStateLocked(svc)
 	st.organizer = org
-	st.reservations[tid] = id
+	// Adoption happens outside a protocol round; round 0 means any
+	// round-stamped release may free it.
+	st.reservations[tid] = reservationEntry{id: id}
 	st.running[tid] = true
 	start := p.armHeartbeatLocked(st)
 	p.mu.Unlock()
@@ -513,7 +539,9 @@ func (p *Provider) ResizeReservation(svc, tid string, demand resource.Vector) er
 	st, ok := p.services[svc]
 	var id resource.ReservationID
 	if ok {
-		id, ok = st.reservations[tid]
+		var entry reservationEntry
+		entry, ok = st.reservations[tid]
+		id = entry.id
 	}
 	p.mu.Unlock()
 	if !ok {
@@ -538,8 +566,10 @@ func (p *Provider) DropTask(svc, tid string) {
 	st, ok := p.services[svc]
 	var id resource.ReservationID
 	if ok {
-		id, ok = st.reservations[tid]
+		var entry reservationEntry
+		entry, ok = st.reservations[tid]
 		if ok {
+			id = entry.id
 			delete(st.reservations, tid)
 			delete(st.running, tid)
 		}
@@ -583,10 +613,45 @@ func (p *Provider) ReleaseService(svc string) {
 		p.Res.Release(id)
 	}
 	if ok {
-		for _, id := range st.reservations {
-			p.Res.Release(id)
+		for _, entry := range st.reservations {
+			p.Res.Release(entry.id)
 		}
 	}
+}
+
+// ServiceIDs lists the services for which this provider currently holds
+// at least one firm reservation, sorted for deterministic iteration.
+// The session reconciliation sweep walks this to find orphans: services
+// a frozen-then-recovered node still accounts for after the coalition
+// moved on without it.
+func (p *Provider) ServiceIDs() []string {
+	p.mu.Lock()
+	out := make([]string, 0, len(p.services))
+	for svc, st := range p.services {
+		if len(st.reservations) > 0 {
+			out = append(out, svc)
+		}
+	}
+	p.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// ReservedTasks lists the tasks of one service this provider holds firm
+// reservations for, sorted; the reconciliation sweep compares them
+// against the organizer's current assignments.
+func (p *Provider) ReservedTasks(svc string) []string {
+	p.mu.Lock()
+	var out []string
+	if st, ok := p.services[svc]; ok {
+		out = make([]string, 0, len(st.reservations))
+		for tid := range st.reservations {
+			out = append(out, tid)
+		}
+	}
+	p.mu.Unlock()
+	sort.Strings(out)
+	return out
 }
 
 // Reset drops the provider's entire soft state: every firm reservation,
@@ -634,7 +699,7 @@ func (p *Provider) serviceStateLocked(svc string) *serviceState {
 	st, ok := p.services[svc]
 	if !ok {
 		st = &serviceState{
-			reservations: make(map[string]resource.ReservationID),
+			reservations: make(map[string]reservationEntry),
 			running:      make(map[string]bool),
 		}
 		p.services[svc] = st

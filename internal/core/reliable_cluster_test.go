@@ -1,0 +1,133 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+	"repro/internal/radio"
+	"repro/internal/workload"
+)
+
+// buildRetryCluster is buildCluster with a lossy medium and the
+// reliability layer switched on.
+func buildRetryCluster(t *testing.T, n int, loss float64, retry proto.RetryConfig) *core.Cluster {
+	t.Helper()
+	cl := core.NewCluster(42, radio.Config{ProcDelay: 0.001, LossProb: loss}, core.DefaultProviderConfig)
+	if retry.Enabled() {
+		if err := cl.SetRetry(retry); err != nil {
+			t.Fatalf("SetRetry: %v", err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		p := workload.Phone
+		switch {
+		case i == 0:
+		case i%2 == 0:
+			p = workload.Laptop
+		default:
+			p = workload.PDA
+		}
+		spec := workload.NodeSpecFor(radio.NodeID(i), p, core.GridPlacement(i, n, 10))
+		if _, err := cl.AddNode(spec); err != nil {
+			t.Fatalf("AddNode(%d): %v", i, err)
+		}
+	}
+	return cl
+}
+
+// TestRetryFormsUnderLoss: with the reliability layer on, a formation
+// over a 15%-lossy medium completes, retransmissions are issued, and
+// the receiver dedup absorbs the double deliveries — providers end up
+// with exactly the awarded reservations and a clean ledger after
+// dissolve.
+func TestRetryFormsUnderLoss(t *testing.T) {
+	cl := buildRetryCluster(t, 6, 0.15, proto.DefaultRetryConfig)
+	svc := workload.StreamService("stream", 3, 1.0)
+	var res *core.Result
+	org, err := cl.Submit(0, 0, svc, core.DefaultOrganizerConfig, func(r *core.Result) {
+		if res == nil {
+			res = r
+		}
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	cl.Run(10)
+	if res == nil || !res.Complete() {
+		t.Fatalf("formation failed under loss with retries: %+v", res)
+	}
+	var retx, dups uint64
+	for _, id := range cl.Nodes() {
+		n := cl.Node(id)
+		retx += n.Retransmissions()
+		dups += n.Duplicates()
+	}
+	if retx == 0 {
+		t.Fatal("no retransmissions issued")
+	}
+	if dups == 0 {
+		t.Fatal("no duplicates suppressed (double deliveries must occur at 15% loss)")
+	}
+	org.Dissolve("test done")
+	cl.Run(20)
+	for _, id := range cl.Nodes() {
+		n := cl.Node(id)
+		if n.Res.Available() != n.Res.Capacity() {
+			t.Errorf("node %d leaked reservations: avail %v cap %v", id, n.Res.Available(), n.Res.Capacity())
+		}
+	}
+}
+
+// TestSetRetryAfterAddNodeRejected: the discipline must be uniform.
+func TestSetRetryAfterAddNodeRejected(t *testing.T) {
+	cl := buildCluster(t, 2)
+	if err := cl.SetRetry(proto.DefaultRetryConfig); err == nil {
+		t.Fatal("SetRetry accepted after AddNode")
+	}
+}
+
+// TestStaleReleaseRefused: a TaskRelease stamped with a round older
+// than the one that placed the current reservation must not free it —
+// the replay-safety guard for unsequenced duplicates.
+func TestStaleReleaseRefused(t *testing.T) {
+	cl := buildCluster(t, 4)
+	svc := workload.StreamService("s", 1, 1.0)
+	var res *core.Result
+	if _, err := cl.Submit(0, 0, svc, core.DefaultOrganizerConfig, func(r *core.Result) {
+		if res == nil {
+			res = r
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cl.Run(5)
+	if res == nil || !res.Complete() {
+		t.Fatalf("formation failed: %+v", res)
+	}
+	a := res.Assigned["t0"]
+	n := cl.Node(a.Node)
+	before := n.Res.Available()
+
+	// Replay a release from a round before the placement round (the
+	// initial formation places at round >= 0, so -1 is always stale).
+	n.Provider.OnMsg(0, &proto.TaskRelease{ServiceID: "s", TaskID: "t0", Round: -1, Reason: "stale replay"})
+	if n.Res.Available() != before {
+		t.Fatal("stale release freed the reservation")
+	}
+	if n.Provider.StaleReleases != 1 {
+		t.Fatalf("StaleReleases = %d, want 1", n.Provider.StaleReleases)
+	}
+
+	// A release at or after the placement round is honoured.
+	n.Provider.OnMsg(0, &proto.TaskRelease{ServiceID: "s", TaskID: "t0", Round: 100, Reason: "current"})
+	if n.Res.Available() == before {
+		t.Fatal("current-round release refused")
+	}
+	// And a duplicate of it is a no-op (reservation already gone).
+	after := n.Res.Available()
+	n.Provider.OnMsg(0, &proto.TaskRelease{ServiceID: "s", TaskID: "t0", Round: 100, Reason: "dup"})
+	if n.Res.Available() != after {
+		t.Fatal("duplicate release changed the ledger")
+	}
+}

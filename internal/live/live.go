@@ -37,6 +37,11 @@ type Config struct {
 	InboxDepth int
 	// Provider configures every node's QoS Provider.
 	Provider core.ProviderConfig
+	// Retry enables the at-least-once reliability layer on every node's
+	// transport (DESIGN.md §12): retriable messages are sequenced and
+	// blindly retransmitted on the bounded backoff schedule, and each
+	// node's dispatcher deduplicates by (sender, seq) before handling.
+	Retry proto.RetryConfig
 }
 
 // Runtime hosts the goroutine nodes.
@@ -48,10 +53,14 @@ type Runtime struct {
 	mu    sync.RWMutex
 	nodes map[radio.NodeID]*Node
 
-	// Sent, Delivered and Dropped count message traffic.
+	// Sent, Delivered and Dropped count message traffic. Overflows counts
+	// the subset of drops caused by a full inbox (receiver saturation, as
+	// opposed to range or membership failures) — the live analogue of a
+	// congested radio queue, watched by the chaos invariants.
 	Sent      atomic.Uint64
 	Delivered atomic.Uint64
 	Dropped   atomic.Uint64
+	Overflows atomic.Uint64
 }
 
 // Node is one live agent.
@@ -69,7 +78,22 @@ type Node struct {
 	done       chan struct{}
 	orgMu      sync.Mutex
 	organizers map[string]*core.Organizer
+	reliable   *proto.Reliable // non-nil when cfg.Retry is enabled
+	dedup      proto.Dedup     // touched only by the node's loop goroutine
 }
+
+// transport returns the node's outbound transport: the shared reliability
+// wrapper when retries are on, the bare channel transport otherwise.
+func (n *Node) transport() proto.Transport {
+	if n.reliable != nil {
+		return n.reliable
+	}
+	return liveTransport{rt: n.rt, id: n.ID}
+}
+
+// Duplicates reports the sequenced deliveries this node suppressed. Call
+// after Shutdown (or quiesce) — the counter is owned by the loop goroutine.
+func (n *Node) Duplicates() uint64 { return n.dedup.Duplicates }
 
 // NewRuntime builds an empty runtime.
 func NewRuntime(cfg Config) *Runtime {
@@ -178,6 +202,7 @@ func (rt *Runtime) send(from, to radio.NodeID, m proto.Msg) {
 			rt.Delivered.Add(1)
 		default:
 			rt.Dropped.Add(1)
+			rt.Overflows.Add(1)
 		}
 	}
 	if latency <= 0 {
@@ -203,7 +228,10 @@ func (rt *Runtime) AddNode(id radio.NodeID, pos radio.Pos, rangeM, bitrate float
 		done:       make(chan struct{}),
 		organizers: make(map[string]*core.Organizer),
 	}
-	n.Provider = core.NewProvider(id, n.Res, rt.catalog, liveTransport{rt: rt, id: id}, liveTimers{rt}, rt.cfg.Provider)
+	if rt.cfg.Retry.Enabled() {
+		n.reliable = proto.NewReliable(liveTransport{rt: rt, id: id}, liveTimers{rt}, rt.cfg.Retry)
+	}
+	n.Provider = core.NewProvider(id, n.Res, rt.catalog, n.transport(), liveTimers{rt}, rt.cfg.Provider)
 	rt.nodes[id] = n
 	go n.loop()
 	return n, nil
@@ -224,6 +252,10 @@ func (n *Node) loop() {
 }
 
 func (n *Node) dispatch(from radio.NodeID, m proto.Msg) {
+	m, seq := proto.Unwrap(m)
+	if n.dedup.Duplicate(from, seq) {
+		return
+	}
 	switch msg := m.(type) {
 	case *proto.Proposal:
 		if o := n.organizer(msg.ServiceID); o != nil {
@@ -254,7 +286,7 @@ func (n *Node) Submit(svc *task.Service, cfg core.OrganizerConfig, onFormed func
 	if err := n.rt.catalog.RegisterService(svc); err != nil {
 		return nil, err
 	}
-	o, err := core.NewOrganizer(svc, liveTransport{rt: n.rt, id: n.ID}, liveTimers{n.rt}, cfg, onFormed)
+	o, err := core.NewOrganizer(svc, n.transport(), liveTimers{n.rt}, cfg, onFormed)
 	if err != nil {
 		return nil, err
 	}

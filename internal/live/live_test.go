@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/proto"
 	"repro/internal/radio"
 	"repro/internal/workload"
 )
@@ -157,6 +158,103 @@ func TestLiveOutOfRangeNodesExcluded(t *testing.T) {
 		if a.Node == 1 {
 			t.Errorf("task %s assigned to unreachable node", tid)
 		}
+	}
+}
+
+// TestLiveInboxOverflowCounted pins the saturation accounting: once a
+// node's inbox is full, further deliveries land in the Overflows counter
+// (and Dropped), distinct from range/membership drops.
+func TestLiveInboxOverflowCounted(t *testing.T) {
+	rt := NewRuntime(Config{InboxDepth: 1, Provider: core.DefaultProviderConfig})
+	if _, err := rt.AddNode(1, radio.Pos{}, 10, 1e6, workload.Phone.Capacity); err != nil {
+		t.Fatal(err)
+	}
+	// Stop the agent goroutine so nothing drains the inbox, then stuff it
+	// with zero-latency self-sends: one fits the buffer, the rest overflow.
+	rt.Shutdown()
+	for i := 0; i < 4; i++ {
+		rt.send(1, 1, &proto.Heartbeat{ServiceID: "x"})
+	}
+	if got := rt.Delivered.Load(); got != 1 {
+		t.Errorf("Delivered = %d, want 1 (inbox depth)", got)
+	}
+	if got := rt.Overflows.Load(); got != 3 {
+		t.Errorf("Overflows = %d, want 3", got)
+	}
+	if d, o := rt.Dropped.Load(), rt.Overflows.Load(); d != o {
+		t.Errorf("overflow drops must count in both: Dropped=%d Overflows=%d", d, o)
+	}
+	// An out-of-membership drop moves Dropped but not Overflows.
+	rt.send(1, 99, &proto.Heartbeat{ServiceID: "x"})
+	if d, o := rt.Dropped.Load(), rt.Overflows.Load(); d != o+1 {
+		t.Errorf("membership drop miscounted: Dropped=%d Overflows=%d", d, o)
+	}
+}
+
+// TestLiveRetryFormsAndDeduplicates runs a formation with the
+// reliability layer on: the goroutine runtime must form and dissolve
+// cleanly, with the receivers' dedup windows absorbing every blind
+// retransmission the lossless channels deliver twice.
+func TestLiveRetryFormsAndDeduplicates(t *testing.T) {
+	rt := NewRuntime(Config{TimeScale: 0.01, Provider: core.DefaultProviderConfig, Retry: proto.DefaultRetryConfig})
+	profiles := []workload.Profile{
+		workload.Phone, workload.PDA, workload.Laptop,
+		workload.PDA, workload.Laptop, workload.Phone,
+	}
+	for i, p := range profiles {
+		pos := core.GridPlacement(i, len(profiles), 10)
+		if _, err := rt.AddNode(radio.NodeID(i), radio.Pos(pos), p.RangeM, p.Bitrate, p.Capacity); err != nil {
+			t.Fatalf("AddNode(%d): %v", i, err)
+		}
+	}
+	svc := workload.StreamService("retry1", 3, 1.0)
+	ch := make(chan *core.Result, 4)
+	org, err := rt.Node(0).Submit(svc, core.DefaultOrganizerConfig, func(r *core.Result) {
+		select {
+		case ch <- r:
+		default:
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := waitResult(t, ch, 10*time.Second)
+	if !res.Complete() {
+		t.Fatalf("unserved under retry: %v", res.Unserved)
+	}
+	org.Dissolve("done")
+	deadline := time.Now().Add(5 * time.Second)
+	clean := false
+	for time.Now().Before(deadline) && !clean {
+		clean = true
+		for i := range profiles {
+			n := rt.Node(radio.NodeID(i))
+			if n.Res.Available() != n.Res.Capacity() {
+				clean = false
+			}
+		}
+		if !clean {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if !clean {
+		t.Error("reservations not released after dissolve under retry")
+	}
+	// Let the retransmission tail land, then quiesce before reading the
+	// loop-owned dedup counters.
+	rt.VirtualSleep(3)
+	rt.Shutdown()
+	var retx, dups uint64
+	for i := range profiles {
+		n := rt.Node(radio.NodeID(i))
+		retx += n.reliable.Retransmissions()
+		dups += n.Duplicates()
+	}
+	if retx == 0 {
+		t.Error("reliability layer issued no retransmissions")
+	}
+	if dups == 0 {
+		t.Error("no duplicate was suppressed despite lossless retransmission")
 	}
 }
 

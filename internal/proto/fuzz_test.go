@@ -1,0 +1,120 @@
+package proto_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+	"repro/internal/radio"
+	"repro/internal/workload"
+)
+
+// FuzzProtoDedup throws adversarial interleavings of duplicated,
+// reordered, and replayed handshake messages at a formed coalition and
+// checks the hardening invariants (DESIGN.md §12): whatever arrives —
+// stale awards, out-of-round releases, forged acks, replayed dissolves,
+// arbitrary sequence numbers — organizer round state stays a legal
+// coalition state and every provider ledger drains to exactly empty
+// after the final dissolve. Replays are injected from a "ghost" node so
+// their sequence numbers live in a dedup window disjoint from real
+// senders, the same way fault-layer duplicates reuse real envelopes.
+func FuzzProtoDedup(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 1, 0, 3, 2, 200, 1, 3, 0, 0, 4, 9, 5, 5, 1, 7})
+	f.Add([]byte{3, 0, 0, 3, 0, 0, 0, 0, 0, 1, 255, 9, 2, 3, 1, 6, 6, 6, 7, 7, 7})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		const n = 4
+		const ghost = radio.NodeID(9)
+		cl := core.NewCluster(42, radio.Config{ProcDelay: 0.001}, core.DefaultProviderConfig)
+		if err := cl.SetRetry(proto.DefaultRetryConfig); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			p := workload.Phone
+			switch {
+			case i == 0:
+			case i%2 == 0:
+				p = workload.Laptop
+			default:
+				p = workload.PDA
+			}
+			if _, err := cl.AddNode(workload.NodeSpecFor(radio.NodeID(i), p, core.GridPlacement(i, n, 10))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// The ghost is on the medium (so its sends deliver) but runs no
+		// protocol entity: awards routed to it are simply lost.
+		if err := cl.Medium.Attach(ghost, radio.Static{X: 5, Y: 5}, 1000, 1e6, func(radio.NodeID, any) {}); err != nil {
+			t.Fatal(err)
+		}
+
+		svc := workload.StreamService("s", 2, 1.0)
+		org, err := cl.Submit(0, 0, svc, core.DefaultOrganizerConfig, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl.Run(5)
+
+		tasks := []string{"t0", "t1"}
+		// Cap the interleaving length so fuzzer-grown inputs stay fast;
+		// 64 injections are plenty to tangle a 2-task negotiation.
+		if len(script) > 64*3 {
+			script = script[:64*3]
+		}
+		for i := 0; i+2 < len(script); i += 3 {
+			op, arg, dt := script[i], script[i+1], script[i+2]
+			to := radio.NodeID(arg % n)
+			round := int(arg%5) - 1
+			var m proto.Msg
+			switch op % 8 {
+			case 0:
+				m = &proto.Award{ServiceID: "s", Round: round, TaskIDs: []string{tasks[arg%2]}}
+			case 1:
+				m = &proto.TaskRelease{ServiceID: "s", TaskID: tasks[arg%2], Round: round, Reason: "fuzz replay"}
+			case 2:
+				m = &proto.TaskData{ServiceID: "s", TaskID: tasks[arg%2], Bytes: int64(arg)}
+			case 3:
+				m = &proto.Dissolve{ServiceID: "s", Reason: "fuzz replay"}
+			case 4:
+				m = &proto.Heartbeat{ServiceID: "s", TaskIDs: tasks}
+				to = 0 // organizer-bound
+			case 5:
+				m = &proto.Proposal{ServiceID: "s", Round: round, Tasks: []proto.TaskProposal{{TaskID: tasks[arg%2], Level: nil, Reward: 1, Copies: 1}}}
+				to = 0
+			case 6:
+				m = &proto.AwardAck{ServiceID: "s", Round: round, TaskIDs: []string{tasks[arg%2]}, OK: true}
+				to = 0
+			case 7:
+				m = &proto.CFP{ServiceID: "s", Round: round, SpecName: svc.Spec.Name}
+			}
+			// Odd dt wraps the replay in a sequence envelope (a forged or
+			// reordered retransmission); even dt sends it bare.
+			if dt%2 == 1 {
+				m = &proto.Sequenced{Seq: uint64(arg) + 1, Inner: m}
+			}
+			cl.Medium.Send(ghost, to, m, m.WireSize())
+			cl.Run(cl.Eng.Now() + float64(dt)*0.01)
+		}
+
+		// Drain, dissolve, drain again: every ledger must be exactly empty
+		// whatever the interleaving did.
+		cl.Run(cl.Eng.Now() + 5)
+		if st := org.State(); st != core.Forming && st != core.Operating && st != core.Dissolved {
+			t.Fatalf("organizer in illegal state %v", st)
+		}
+		org.Dissolve("fuzz cleanup")
+		cl.Run(cl.Eng.Now() + 20)
+		for _, id := range cl.Nodes() {
+			nd := cl.Node(id)
+			if nd == nil {
+				continue // ghost
+			}
+			if avail, cap := nd.Res.Available(), nd.Res.Capacity(); avail != cap {
+				t.Fatalf("node %d ledger not empty after dissolve: avail %v cap %v", id, avail, cap)
+			}
+			if svcs := nd.Provider.ServiceIDs(); len(svcs) != 0 {
+				t.Fatalf("node %d still accounts services %v", id, svcs)
+			}
+		}
+	})
+}

@@ -149,9 +149,16 @@ type TaskRelease struct {
 	ServiceID string
 	TaskID    string
 	Reason    string
+	// Round is the negotiation round the release was issued in.
+	// Providers refuse releases older than the round that placed their
+	// current reservation, so a delayed or fault-duplicated release
+	// replayed after the task was re-awarded to the same node cannot
+	// free the newer reservation (DESIGN.md §12).
+	Round int
 }
 
-// WireSize implements Msg.
+// WireSize implements Msg. Round rides in the 32-byte fixed header the
+// other handshake fields already occupy.
 func (m *TaskRelease) WireSize() int { return 32 + len(m.Reason) }
 
 // Kind implements Msg.

@@ -1,0 +1,279 @@
+package proto
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/radio"
+)
+
+// This file is the at-least-once reliability layer of the negotiation
+// protocol (DESIGN.md §12). The paper's handshakes assume a lossy
+// ad-hoc radio but carry no redundancy; over a faulty medium
+// (internal/faults) a single lost Award or TaskRelease silently
+// degrades a formation or leaks a reservation. The hardening is the
+// classic pair:
+//
+//   - at-least-once delivery: the Reliable transport wraps retriable
+//     messages in a Sequenced envelope and blindly retransmits them a
+//     bounded number of times with exponential backoff and
+//     deterministic jitter — no acks, so the message flow stays the
+//     paper's and the overhead is a fixed small factor;
+//   - idempotence: receivers drop (sender, seq) duplicates through a
+//     Dedup window before dispatch, so retransmissions and
+//     fault-injected duplicates collapse to one effective delivery.
+//
+// Everything is deterministic: retry delays come from a splitmix64
+// hash of (self, seq, attempt), never from an rng, so enabling
+// reliability changes no random draw sequence anywhere.
+
+// Sequenced wraps a protocol message with the sender-local sequence
+// number the reliability layer retransmits and deduplicates by.
+// Transports deliver it like any message; receiving dispatchers unwrap
+// via Unwrap after consulting their Dedup filter.
+type Sequenced struct {
+	Seq   uint64
+	Inner Msg
+}
+
+// WireSize implements Msg: the inner size plus the 8-byte sequence.
+func (m *Sequenced) WireSize() int { return 8 + m.Inner.WireSize() }
+
+// Kind implements Msg, delegating to the wrapped message so traces and
+// overhead accounting see the protocol vocabulary, not the envelope.
+func (m *Sequenced) Kind() string { return m.Inner.Kind() }
+
+// Unwrap peels a Sequenced envelope: it returns the inner message and
+// the sequence number, or the message itself with seq 0 when it is not
+// sequenced (sequence numbers start at 1, so 0 means "unsequenced").
+func Unwrap(m Msg) (Msg, uint64) {
+	if s, ok := m.(*Sequenced); ok {
+		return s.Inner, s.Seq
+	}
+	return m, 0
+}
+
+// RetryConfig bounds the retransmission schedule.
+type RetryConfig struct {
+	// Retries is the number of retransmissions after the initial send
+	// (0 disables the layer entirely).
+	Retries int
+	// Backoff is the delay before the first retransmission in seconds
+	// (default 0.05); each further one doubles it by Factor (default 2)
+	// up to MaxBackoff (default 1).
+	Backoff    float64
+	Factor     float64
+	MaxBackoff float64
+	// Jitter is the relative jitter amplitude (default 0.5): attempt i
+	// is delayed by backoff_i * (1 + Jitter*u) where u in [0,1) is a
+	// deterministic hash of (sender, seq, i). Jitter spreads the
+	// retransmissions of a burst so they do not re-collide inside one
+	// loss burst or congested window.
+	Jitter float64
+}
+
+// Enabled reports whether the configuration retransmits at all.
+func (c RetryConfig) Enabled() bool { return c.Retries > 0 }
+
+// withDefaults normalizes zero values.
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.Backoff <= 0 {
+		c.Backoff = 0.05
+	}
+	if c.Factor <= 1 {
+		c.Factor = 2
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 1
+	}
+	if c.Jitter < 0 {
+		c.Jitter = 0
+	} else if c.Jitter == 0 {
+		c.Jitter = 0.5
+	}
+	return c
+}
+
+// DefaultRetryConfig is the schedule the chaos experiments run: three
+// transmissions total (initial + 2), 50 ms then 100 ms backoff, both
+// jittered — bounded well under the organizer's 250 ms proposal and
+// ack windows, so retransmission (not renegotiation) is the first line
+// of defense against loss.
+var DefaultRetryConfig = RetryConfig{Retries: 2}
+
+// splitmix64 is the deterministic jitter hash (Steele et al.).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// jitter01 maps (self, seq, attempt) to [0,1).
+func jitter01(self radio.NodeID, seq uint64, attempt int) float64 {
+	h := splitmix64(uint64(self)*0x9e3779b97f4a7c15 ^ seq<<8 ^ uint64(attempt))
+	return float64(h>>11) / float64(1<<53)
+}
+
+// Retriable reports whether the reliability layer covers a message
+// kind. Heartbeats are excluded: they are periodic by construction, so
+// the next tick is their retransmission and wrapping them would only
+// inflate steady-state traffic.
+func Retriable(m Msg) bool {
+	_, hb := m.(*Heartbeat)
+	return !hb
+}
+
+// Reliable decorates a Transport with bounded blind retransmission of
+// sequenced messages. Sequence allocation and the retry counter are
+// atomic so the live runtime's timer goroutines can share one per node;
+// the simulator's single-threaded use pays only the uncontended cost.
+type Reliable struct {
+	inner Transport
+	tm    Timers
+	cfg   RetryConfig
+	seq   atomic.Uint64
+
+	// retransmissions counts retry sends actually issued, for the
+	// overhead columns of the chaos experiments.
+	retransmissions atomic.Uint64
+}
+
+// NewReliable wraps a transport. A disabled config (Retries == 0)
+// returns nil-like passthrough behavior — callers should keep the bare
+// transport instead; NewReliable still handles it gracefully by never
+// wrapping.
+func NewReliable(inner Transport, tm Timers, cfg RetryConfig) *Reliable {
+	return &Reliable{inner: inner, tm: tm, cfg: cfg.withDefaults()}
+}
+
+// Self implements Transport.
+func (r *Reliable) Self() radio.NodeID { return r.inner.Self() }
+
+// CommCost implements Transport.
+func (r *Reliable) CommCost(to radio.NodeID, size int64) float64 {
+	return r.inner.CommCost(to, size)
+}
+
+// Send implements Transport: retriable messages to other nodes are
+// wrapped, sent, and blindly retransmitted on the backoff schedule.
+// Self-sends and heartbeats pass through unwrapped.
+func (r *Reliable) Send(to radio.NodeID, m Msg) {
+	if to == r.inner.Self() || !r.cfg.Enabled() || !Retriable(m) {
+		r.inner.Send(to, m)
+		return
+	}
+	w := r.wrap(m)
+	r.inner.Send(to, w)
+	r.scheduleRetries(func() { r.inner.Send(to, w) }, w.Seq)
+}
+
+// Broadcast implements Transport: each retransmission re-broadcasts,
+// reaching whatever neighbours are in range at that instant.
+func (r *Reliable) Broadcast(m Msg) {
+	if !r.cfg.Enabled() || !Retriable(m) {
+		r.inner.Broadcast(m)
+		return
+	}
+	w := r.wrap(m)
+	r.inner.Broadcast(w)
+	r.scheduleRetries(func() { r.inner.Broadcast(w) }, w.Seq)
+}
+
+func (r *Reliable) wrap(m Msg) *Sequenced {
+	return &Sequenced{Seq: r.seq.Add(1), Inner: m}
+}
+
+// Retransmissions reports the retry sends issued so far.
+func (r *Reliable) Retransmissions() uint64 { return r.retransmissions.Load() }
+
+// scheduleRetries arms the bounded retransmission timers: attempt i
+// (1-based) fires min(Backoff*Factor^(i-1), MaxBackoff)*(1+Jitter*u_i)
+// seconds after attempt i-1.
+func (r *Reliable) scheduleRetries(send func(), seq uint64) {
+	delay := 0.0
+	backoff := r.cfg.Backoff
+	for i := 1; i <= r.cfg.Retries; i++ {
+		step := math.Min(backoff, r.cfg.MaxBackoff)
+		delay += step * (1 + r.cfg.Jitter*jitter01(r.inner.Self(), seq, i))
+		r.tm.After(delay, func() {
+			r.retransmissions.Add(1)
+			send()
+		})
+		backoff *= r.cfg.Factor
+	}
+}
+
+// Dedup is the receiver-side duplicate filter: one sliding window of
+// seen sequence numbers per sender. Sequence numbers from one sender
+// are consumed in near order (retransmission backoff is bounded), so a
+// fixed window of the most recent DedupWindow sequences per sender is
+// exact in practice; anything older than the window is treated as a
+// duplicate, which errs on the side of dropping ancient replays.
+//
+// The zero Dedup is ready to use and allocates nothing until the first
+// sequenced message arrives, keeping the default (reliability off)
+// paths allocation-free.
+type Dedup struct {
+	bySrc map[radio.NodeID]*dedupWindow
+	// Duplicates counts sequenced deliveries suppressed.
+	Duplicates uint64
+}
+
+// DedupWindow is the per-sender sliding-window width.
+const DedupWindow = 512
+
+type dedupWindow struct {
+	max  uint64 // highest sequence seen
+	bits [DedupWindow / 64]uint64
+}
+
+func (w *dedupWindow) bit(seq uint64) (idx int, mask uint64) {
+	s := seq % DedupWindow
+	return int(s / 64), 1 << (s % 64)
+}
+
+// Duplicate records (from, seq) and reports whether it was already
+// seen. Unsequenced messages (seq 0) are never duplicates — the filter
+// only ever suppresses traffic the reliability layer wrapped.
+func (d *Dedup) Duplicate(from radio.NodeID, seq uint64) bool {
+	if seq == 0 {
+		return false
+	}
+	if d.bySrc == nil {
+		d.bySrc = make(map[radio.NodeID]*dedupWindow)
+	}
+	w, ok := d.bySrc[from]
+	if !ok {
+		w = &dedupWindow{}
+		d.bySrc[from] = w
+	}
+	switch {
+	case seq > w.max:
+		// Advance: clear every slot the window slides past.
+		if seq-w.max >= DedupWindow {
+			w.bits = [DedupWindow / 64]uint64{}
+		} else {
+			for s := w.max + 1; s < seq; s++ {
+				i, m := w.bit(s)
+				w.bits[i] &^= m
+			}
+		}
+		w.max = seq
+		i, m := w.bit(seq)
+		w.bits[i] |= m
+		return false
+	case w.max-seq >= DedupWindow:
+		// Older than the window: cannot tell, drop as duplicate.
+		d.Duplicates++
+		return true
+	default:
+		i, m := w.bit(seq)
+		if w.bits[i]&m != 0 {
+			d.Duplicates++
+			return true
+		}
+		w.bits[i] |= m
+		return false
+	}
+}

@@ -1,0 +1,218 @@
+package proto
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/radio"
+)
+
+// fakeTransport records sends; fakeTimers collects scheduled callbacks
+// so tests fire them in order.
+type fakeTransport struct {
+	self  radio.NodeID
+	sends []fakeSend
+}
+
+type fakeSend struct {
+	to    radio.NodeID // radio.Broadcast for broadcasts
+	msg   Msg
+	bcast bool
+}
+
+func (f *fakeTransport) Self() radio.NodeID { return f.self }
+func (f *fakeTransport) Send(to radio.NodeID, m Msg) {
+	f.sends = append(f.sends, fakeSend{to: to, msg: m})
+}
+func (f *fakeTransport) Broadcast(m Msg) {
+	f.sends = append(f.sends, fakeSend{to: radio.Broadcast, msg: m, bcast: true})
+}
+func (f *fakeTransport) CommCost(to radio.NodeID, size int64) float64 { return 0.001 }
+
+type fakeTimer struct {
+	at float64
+	fn func()
+}
+
+type fakeTimers struct {
+	now    float64
+	queued []fakeTimer
+}
+
+func (f *fakeTimers) Now() float64 { return f.now }
+func (f *fakeTimers) After(d float64, fn func()) {
+	f.queued = append(f.queued, fakeTimer{at: f.now + d, fn: fn})
+}
+
+// fire runs all queued callbacks in schedule order.
+func (f *fakeTimers) fire() {
+	for len(f.queued) > 0 {
+		best := 0
+		for i, q := range f.queued {
+			if q.at < f.queued[best].at {
+				best = i
+			}
+		}
+		q := f.queued[best]
+		f.queued = append(f.queued[:best], f.queued[best+1:]...)
+		f.now = q.at
+		q.fn()
+	}
+}
+
+func TestReliableRetransmitsWithBackoff(t *testing.T) {
+	tr := &fakeTransport{self: 1}
+	tm := &fakeTimers{}
+	r := NewReliable(tr, tm, RetryConfig{Retries: 2, Backoff: 0.05, Jitter: -1})
+	msg := &Award{ServiceID: "s", TaskIDs: []string{"t1"}}
+	r.Send(2, msg)
+	if len(tr.sends) != 1 {
+		t.Fatalf("initial send count = %d", len(tr.sends))
+	}
+	w, ok := tr.sends[0].msg.(*Sequenced)
+	if !ok || w.Seq != 1 || w.Inner != msg {
+		t.Fatalf("first send not sequenced: %#v", tr.sends[0].msg)
+	}
+	if len(tm.queued) != 2 {
+		t.Fatalf("queued %d retries, want 2", len(tm.queued))
+	}
+	// Jitter disabled: delays are exactly backoff and backoff*(1+factor).
+	if got := tm.queued[0].at; math.Abs(got-0.05) > 1e-12 {
+		t.Fatalf("first retry at %g, want 0.05", got)
+	}
+	if got := tm.queued[1].at; math.Abs(got-0.15) > 1e-12 {
+		t.Fatalf("second retry at %g, want 0.15", got)
+	}
+	tm.fire()
+	if len(tr.sends) != 3 {
+		t.Fatalf("total sends = %d, want 3", len(tr.sends))
+	}
+	for _, s := range tr.sends[1:] {
+		if s.msg != Msg(w) {
+			t.Fatal("retransmission is not the identical wrapped message")
+		}
+	}
+	if r.Retransmissions() != 2 {
+		t.Fatalf("Retransmissions = %d", r.Retransmissions())
+	}
+}
+
+func TestReliableSkipsSelfAndHeartbeats(t *testing.T) {
+	tr := &fakeTransport{self: 1}
+	tm := &fakeTimers{}
+	r := NewReliable(tr, tm, DefaultRetryConfig)
+	r.Send(1, &Award{ServiceID: "s"})       // self-send
+	r.Send(2, &Heartbeat{ServiceID: "s"})   // heartbeat
+	r.Broadcast(&Heartbeat{ServiceID: "s"}) // heartbeat broadcast
+	if len(tm.queued) != 0 {
+		t.Fatalf("%d retries scheduled for exempt messages", len(tm.queued))
+	}
+	for _, s := range tr.sends {
+		if _, ok := s.msg.(*Sequenced); ok {
+			t.Fatalf("exempt message wrapped: %#v", s.msg)
+		}
+	}
+}
+
+func TestReliableBroadcastRebroadcasts(t *testing.T) {
+	tr := &fakeTransport{self: 1}
+	tm := &fakeTimers{}
+	r := NewReliable(tr, tm, RetryConfig{Retries: 1, Jitter: -1})
+	r.Broadcast(&CFP{ServiceID: "s"})
+	tm.fire()
+	if len(tr.sends) != 2 || !tr.sends[0].bcast || !tr.sends[1].bcast {
+		t.Fatalf("sends = %+v, want 2 broadcasts", tr.sends)
+	}
+}
+
+func TestJitterDeterministicAndBounded(t *testing.T) {
+	for seq := uint64(1); seq < 100; seq++ {
+		for i := 1; i <= 3; i++ {
+			u := jitter01(5, seq, i)
+			if u < 0 || u >= 1 {
+				t.Fatalf("jitter01(5,%d,%d) = %g outside [0,1)", seq, i, u)
+			}
+			if u != jitter01(5, seq, i) {
+				t.Fatal("jitter01 not deterministic")
+			}
+		}
+	}
+	if jitter01(5, 1, 1) == jitter01(6, 1, 1) {
+		t.Fatal("jitter identical across senders (suspicious hash)")
+	}
+}
+
+func TestSequencedWireSizeAndKind(t *testing.T) {
+	inner := &Dissolve{ServiceID: "s", Reason: "done"}
+	w := &Sequenced{Seq: 9, Inner: inner}
+	if w.WireSize() != inner.WireSize()+8 {
+		t.Fatalf("WireSize = %d, want inner+8", w.WireSize())
+	}
+	if w.Kind() != inner.Kind() {
+		t.Fatalf("Kind = %q", w.Kind())
+	}
+	m, seq := Unwrap(w)
+	if m != Msg(inner) || seq != 9 {
+		t.Fatal("Unwrap lost the envelope")
+	}
+	m, seq = Unwrap(inner)
+	if m != Msg(inner) || seq != 0 {
+		t.Fatal("Unwrap of bare message changed it")
+	}
+}
+
+func TestDedupWindow(t *testing.T) {
+	var d Dedup
+	if d.Duplicate(1, 0) || d.Duplicate(1, 0) {
+		t.Fatal("unsequenced messages must never dedup")
+	}
+	if d.Duplicate(1, 1) {
+		t.Fatal("fresh seq flagged")
+	}
+	if !d.Duplicate(1, 1) {
+		t.Fatal("replay not flagged")
+	}
+	if d.Duplicate(2, 1) {
+		t.Fatal("per-sender windows leaked across senders")
+	}
+	// Out-of-order arrivals within the window are each accepted once.
+	if d.Duplicate(1, 10) || d.Duplicate(1, 5) || !d.Duplicate(1, 5) || !d.Duplicate(1, 10) {
+		t.Fatal("out-of-order window handling wrong")
+	}
+	// A huge jump clears the window; the skipped range then reads as
+	// fresh-once when it arrives late but inside the new window.
+	if d.Duplicate(1, 1000) {
+		t.Fatal("post-jump seq flagged")
+	}
+	if d.Duplicate(1, 999) || !d.Duplicate(1, 999) {
+		t.Fatal("late-but-in-window seq mishandled")
+	}
+	// Ancient sequence numbers (outside the window) drop as duplicates.
+	if !d.Duplicate(1, 100) {
+		t.Fatal("ancient seq accepted")
+	}
+	if d.Duplicates == 0 {
+		t.Fatal("duplicate counter never moved")
+	}
+}
+
+// TestDedupSlideExhaustive slides one sender through many sequences
+// with duplicates injected at every step: exactly one accept per seq.
+func TestDedupSlideExhaustive(t *testing.T) {
+	var d Dedup
+	accepted := 0
+	for seq := uint64(1); seq <= 3000; seq++ {
+		if !d.Duplicate(7, seq) {
+			accepted++
+		}
+		if !d.Duplicate(7, seq) {
+			t.Fatalf("seq %d accepted twice", seq)
+		}
+		if seq > 3 && !d.Duplicate(7, seq-3) {
+			t.Fatalf("recent seq %d re-accepted", seq-3)
+		}
+	}
+	if accepted != 3000 {
+		t.Fatalf("accepted %d of 3000", accepted)
+	}
+}

@@ -126,6 +126,33 @@ type Stats struct {
 	Drops       uint64 // lost to LossProb
 	Unreachable uint64 // destination out of range or down
 	Bytes       uint64
+	// FaultDrops and FaultDups count deliveries consumed or cloned by an
+	// installed fault Interceptor (internal/faults); zero without one.
+	FaultDrops uint64
+	FaultDups  uint64
+}
+
+// Fate is an Interceptor's verdict on one delivery. The zero value
+// delivers normally.
+type Fate struct {
+	// Drop consumes the delivery entirely.
+	Drop bool
+	// Delay adds seconds on top of the modeled latency; large spikes
+	// reorder the message past later traffic.
+	Delay float64
+	// Dup schedules a second, identical delivery DupDelay seconds after
+	// the first (0 = back-to-back on the same tick).
+	Dup      bool
+	DupDelay float64
+}
+
+// Interceptor decides the fate of every otherwise-successful delivery:
+// the adversarial hook the deterministic fault injector
+// (internal/faults) attaches to. It runs after reachability and
+// LossProb, so a nil or always-zero interceptor leaves the medium's
+// behavior and rng draw sequence byte-identical.
+type Interceptor interface {
+	DeliverFate(now float64, from, to NodeID, size int) Fate
 }
 
 // Medium connects nodes through the simulated ether. All methods must be
@@ -143,6 +170,10 @@ type Medium struct {
 	bcast []NodeID
 	// ids caches the ascending node-ID list; invalidated by Attach.
 	ids []NodeID
+
+	// interceptor, when set, rules on every otherwise-successful
+	// delivery (fault injection); nil costs one predictable branch.
+	interceptor Interceptor
 
 	// Stats is exported for experiment harvesting.
 	Stats Stats
@@ -317,6 +348,12 @@ func (m *Medium) SendBroadcast(from NodeID, msg any, size int) {
 	}
 }
 
+// SetInterceptor installs (or, with nil, removes) the delivery fault
+// hook. With none installed the medium behaves byte-identically to a
+// build without the hook: the interceptor runs strictly after the
+// LossProb draw and never touches the engine rng.
+func (m *Medium) SetInterceptor(i Interceptor) { m.interceptor = i }
+
 func (m *Medium) deliver(src *nodeState, to NodeID, msg any, size int) {
 	dst, ok := m.nodes[to]
 	if !ok || dst.down || !m.InRange(src.id, to) {
@@ -328,6 +365,24 @@ func (m *Medium) deliver(src *nodeState, to NodeID, msg any, size int) {
 		return
 	}
 	lat := m.latency(src, dst, size)
+	if m.interceptor != nil {
+		fate := m.interceptor.DeliverFate(m.eng.Now(), src.id, to, size)
+		if fate.Drop {
+			m.Stats.FaultDrops++
+			return
+		}
+		lat += fate.Delay
+		if fate.Dup {
+			m.Stats.FaultDups++
+			m.schedule(src.id, to, msg, lat+fate.DupDelay)
+		}
+	}
+	m.schedule(src.id, to, msg, lat)
+}
+
+// schedule queues one delivery event after lat seconds, recycling a
+// pooled record.
+func (m *Medium) schedule(from, to NodeID, msg any, lat float64) {
 	var d *delivery
 	if n := len(m.deliveries); n > 0 {
 		d = m.deliveries[n-1]
@@ -335,7 +390,7 @@ func (m *Medium) deliver(src *nodeState, to NodeID, msg any, size int) {
 	} else {
 		d = &delivery{m: m}
 	}
-	d.from, d.to, d.msg = src.id, to, msg
+	d.from, d.to, d.msg = from, to, msg
 	m.eng.AfterArg(lat, runDelivery, d)
 }
 

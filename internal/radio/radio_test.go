@@ -333,3 +333,86 @@ func TestSetHandlerAndNodeIDs(t *testing.T) {
 		t.Error("PosOf unknown node succeeded")
 	}
 }
+
+// scriptedInterceptor replays a fixed fate sequence, one per delivery.
+type scriptedInterceptor struct {
+	fates []Fate
+	i     int
+}
+
+func (s *scriptedInterceptor) DeliverFate(now float64, from, to NodeID, size int) Fate {
+	if s.i >= len(s.fates) {
+		return Fate{}
+	}
+	f := s.fates[s.i]
+	s.i++
+	return f
+}
+
+func TestInterceptorFates(t *testing.T) {
+	eng, m := newTestMedium(t, Config{})
+	if err := m.Attach(1, Static{}, 50, 1e6, nil); err != nil {
+		t.Fatal(err)
+	}
+	var rx capture
+	if err := m.Attach(2, Static{X: 10}, 50, 1e6, rx.handler()); err != nil {
+		t.Fatal(err)
+	}
+	m.SetInterceptor(&scriptedInterceptor{fates: []Fate{
+		{Drop: true},
+		{Dup: true, DupDelay: 0.5},
+		{Delay: 2},
+		{},
+	}})
+	for i := 0; i < 4; i++ {
+		m.Send(1, 2, i, 8)
+	}
+	var arrivals []float64
+	m.SetHandler(2, func(from NodeID, msg any) {
+		rx.handler()(from, msg)
+		arrivals = append(arrivals, eng.Now())
+	})
+	eng.Run(0)
+	// msg 0 dropped; msg 1 duplicated; msg 2 delayed 2s; msg 3 normal.
+	if len(rx.msgs) != 4 {
+		t.Fatalf("delivered %d messages, want 4 (dup of 1, delayed 2, normal 3): %v", len(rx.msgs), rx.msgs)
+	}
+	if m.Stats.FaultDrops != 1 || m.Stats.FaultDups != 1 {
+		t.Fatalf("fault stats = %+v", m.Stats)
+	}
+	for _, msg := range rx.msgs {
+		if msg.(int) == 0 {
+			t.Fatal("dropped message delivered")
+		}
+	}
+	// The delayed message must land 2s after the base latency; the dup
+	// 0.5s after its original.
+	last := arrivals[len(arrivals)-1]
+	if last < 2 {
+		t.Fatalf("delay spike not applied: final arrival at %g", last)
+	}
+}
+
+func TestNilInterceptorIdentical(t *testing.T) {
+	run := func(install bool) Stats {
+		eng, m := newTestMedium(t, Config{LossProb: 0.3})
+		if err := m.Attach(1, Static{}, 50, 1e6, nil); err != nil {
+			t.Fatal(err)
+		}
+		var rx capture
+		if err := m.Attach(2, Static{X: 10}, 50, 1e6, rx.handler()); err != nil {
+			t.Fatal(err)
+		}
+		if install {
+			m.SetInterceptor(&scriptedInterceptor{}) // always zero fates
+		}
+		for i := 0; i < 200; i++ {
+			m.Send(1, 2, i, 8)
+		}
+		eng.Run(0)
+		return m.Stats
+	}
+	if a, b := run(false), run(true); a != b {
+		t.Fatalf("zero-fate interceptor perturbed the medium: %+v vs %+v", a, b)
+	}
+}

@@ -131,6 +131,71 @@ func TestBucketReserveRelease(t *testing.T) {
 	}
 }
 
+// TestBucketReleaseReplayIdempotent pins the ledger property the
+// at-least-once protocol layer leans on (DESIGN.md §12): a duplicated
+// TaskRelease replays Release(id) arbitrarily many times, and every
+// replay after the first must be a no-op — reserved can never go
+// negative and a drained bucket returns to exactly its capacity.
+func TestBucketReleaseReplayIdempotent(t *testing.T) {
+	b := NewBucket(CPU, 100)
+	ids := []ReservationID{"t1", "t2", "t3"}
+	for i, id := range ids {
+		if err := b.Reserve(id, float64(10*(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A replay storm: every release delivered three times, interleaved.
+	for round := 0; round < 3; round++ {
+		for _, id := range ids {
+			b.Release(id)
+			if avail := b.Available(); avail > b.Capacity() {
+				t.Fatalf("replayed release drove reserved negative: available %v > capacity %v", avail, b.Capacity())
+			}
+		}
+	}
+	if b.Available() != 100 {
+		t.Errorf("drained bucket available = %v, want exactly 100", b.Available())
+	}
+	if len(b.Holders()) != 0 {
+		t.Errorf("holders after drain: %v", b.Holders())
+	}
+	// A release replayed across a re-reservation of the same id frees the
+	// live reservation once, never twice.
+	if err := b.Reserve("t1", 25); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Release("t1"); got != 25 {
+		t.Errorf("first release = %v", got)
+	}
+	if got := b.Release("t1"); got != 0 {
+		t.Errorf("replayed release = %v, want 0", got)
+	}
+	if b.Available() != 100 {
+		t.Errorf("available = %v after replay across re-reserve", b.Available())
+	}
+}
+
+// TestSetReleaseReplayIdempotent lifts the same pin to the vector Set:
+// the second release of an id returns the zero vector and leaves every
+// bucket exactly full.
+func TestSetReleaseReplayIdempotent(t *testing.T) {
+	s := NewSet(V(KV{CPU, 100}, KV{Memory, 64}, KV{NetBW, 10}, KV{Energy, 50}))
+	if err := s.Reserve("task", V(KV{CPU, 30}, KV{Memory, 16}, KV{NetBW, 2}, KV{Energy, 5})); err != nil {
+		t.Fatal(err)
+	}
+	first := s.Release("task")
+	if first[CPU] != 30 || first[Memory] != 16 {
+		t.Errorf("first release = %v", first)
+	}
+	second := s.Release("task")
+	if !second.IsZero() {
+		t.Errorf("replayed release = %v, want zero vector", second)
+	}
+	if s.Available() != s.Capacity() {
+		t.Errorf("available %v != capacity %v after replay", s.Available(), s.Capacity())
+	}
+}
+
 func TestBucketSetCapacity(t *testing.T) {
 	b := NewBucket(CPU, 100)
 	if err := b.Reserve("a", 80); err != nil {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/adapt"
 	"repro/internal/arrival"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/radio"
 	"repro/internal/resource"
@@ -69,6 +70,19 @@ type Config struct {
 	// teardown (departure or admission failure) with the service ID;
 	// the leak-guard tests hang their reservation-ledger detector here.
 	AfterDeparture func(now float64, svcID string)
+	// Faults, when set, wires a deterministic fault injector
+	// (internal/faults) into the radio medium for the whole run and
+	// schedules its freeze/thaw events: frozen nodes go radio-dark while
+	// their timers and ledgers live on. nil leaves the medium untouched
+	// — the default paths are byte-identical with no plan.
+	Faults *faults.Injector
+	// ReconcileEvery is the period (seconds) of the reservation
+	// reconciliation sweep that reclaims orphaned reservations — ledger
+	// entries on frozen-then-recovered providers whose coalition moved
+	// on or dissolved while they were dark. 0 (the default) disables
+	// the periodic sweep; a final sweep still runs after the drain
+	// whenever Faults is set, so no shipped fault plan can leak.
+	ReconcileEvery float64
 	// SlowPath selects the retained reference implementation of the
 	// session loop: per-arrival session and closure allocations,
 	// closure-chained arrival/churn streams — the pre-pooling engine
@@ -109,6 +123,12 @@ type Stats struct {
 	Reconfigurations, MemberFailures int
 	// NodeLeaves counts churn events that took a node off the air.
 	NodeLeaves int
+	// Freezes counts fault-plan freeze events applied (node went
+	// radio-dark with its state intact); Reclaimed counts orphaned
+	// reservations the reconciliation sweep released — ledger entries
+	// whose session departed, died, or migrated away while the holding
+	// node was unreachable.
+	Freezes, Reclaimed int
 	// Adapt aggregates the adaptation engine's counters and per-session
 	// histories (zero when Config.Adapt is nil).
 	Adapt adapt.Stats
@@ -179,6 +199,8 @@ func (s *Stats) Merge(o *Stats) {
 	s.Reconfigurations += o.Reconfigurations
 	s.MemberFailures += o.MemberFailures
 	s.NodeLeaves += o.NodeLeaves
+	s.Freezes += o.Freezes
+	s.Reclaimed += o.Reclaimed
 	s.SimEvents += o.SimEvents
 	s.Nodes += o.Nodes
 	s.Adapt.Merge(&o.Adapt)
@@ -277,6 +299,11 @@ type Engine struct {
 	draining  bool
 	err       error
 
+	// activeSvc registers every submitted-and-not-yet-torn-down session
+	// by service ID (forming or live); the reconciliation sweep treats
+	// any reservation outside this set as an orphan.
+	activeSvc map[string]*core.Organizer
+
 	stats   Stats
 	liveAvg metrics.TimeAvg
 	utilAvg [resource.NumKinds]metrics.TimeAvg
@@ -330,6 +357,9 @@ func New(cl *core.Cluster, cfg Config, seed int64) (*Engine, error) {
 	if cfg.Churn != nil && (cfg.Churn.Leave == nil || cfg.Churn.DownMean <= 0) {
 		return nil, fmt.Errorf("session: churn config needs a leave process and a positive downtime mean")
 	}
+	if cfg.ReconcileEvery < 0 {
+		return nil, fmt.Errorf("session: ReconcileEvery must be >= 0, got %g", cfg.ReconcileEvery)
+	}
 	e := &Engine{
 		cfg:       cfg,
 		cl:        cl,
@@ -337,6 +367,7 @@ func New(cl *core.Cluster, cfg Config, seed int64) (*Engine, error) {
 		holdRng:   rand.New(rand.NewSource(seed ^ 0x13198a2e03707344)),
 		churnRng:  rand.New(rand.NewSource(seed ^ 0x0a4093822299f31d)),
 		protected: make(map[radio.NodeID]bool, len(cfg.Organizers)),
+		activeSvc: make(map[string]*core.Organizer),
 	}
 	for _, id := range cfg.Organizers {
 		if cl.Node(id) == nil {
@@ -399,6 +430,13 @@ func (e *Engine) Run() (*Stats, error) {
 	if e.ad != nil {
 		e.scheduleAdapt()
 	}
+	if e.cfg.Faults != nil {
+		e.cl.Medium.SetInterceptor(e.cfg.Faults)
+		e.scheduleFreezes()
+	}
+	if e.cfg.ReconcileEvery > 0 {
+		e.scheduleReconcile()
+	}
 	e.cl.Eng.At(e.cfg.Warmup, e.sampleFn)
 	e.cl.Run(e.cfg.Horizon)
 	if e.err != nil {
@@ -429,6 +467,15 @@ func (e *Engine) Run() (*Stats, error) {
 	e.cl.Run(deadline + 2*e.cfg.DepartGrace)
 	if e.err != nil {
 		return nil, e.err
+	}
+	// Post-drain reconciliation: by now every session is torn down, so
+	// any surviving ledger entry is an orphan a fault plan stranded —
+	// a Dissolve blackholed by a freeze or partition that never thawed
+	// before the horizon. One final sweep reclaims them all, making the
+	// leak-guard invariant (reserved == 0 after drain) hold under every
+	// fault plan, not only those whose faults healed in time.
+	if e.cfg.Faults != nil || e.cfg.ReconcileEvery > 0 {
+		e.reconcile()
 	}
 	// Snapshot the adaptation counters only after the drain: sessions
 	// still live at the horizon record their distance drift during the
@@ -534,6 +581,7 @@ func (e *Engine) onArrival() {
 		return
 	}
 	ls.org = org
+	e.activeSvc[svc.ID] = org
 	e.forming++
 }
 
@@ -624,6 +672,7 @@ func (e *Engine) kill(svcID string) {
 // the double-invocation paths above stay safe.
 func (e *Engine) teardown(ls *liveSession, reason string) {
 	ls.departed = true
+	delete(e.activeSvc, ls.id)
 	if e.ad != nil {
 		e.ad.Forget(e.cl.Eng.Now(), ls.id)
 	}
@@ -753,6 +802,92 @@ func (e *Engine) onLeave() {
 		ev := e.getRebootEv()
 		ev.victim = victim
 		e.cl.Eng.AfterArg(down, runReboot, ev)
+	}
+}
+
+// scheduleFreezes arms the fault plan's precomputed freeze/thaw
+// schedule. A freeze is a gray failure: the node's radio goes dark (the
+// injector drops its traffic) while its timers, provider and ledger
+// live on — so unlike churn there is no FailNode and no reboot purge.
+// With adaptation on, the node is marked avoided and its orphaned
+// tasks re-placed immediately; without it, the organizer's own monitor
+// (when enabled) notices the silence.
+func (e *Engine) scheduleFreezes() {
+	for _, ev := range e.cfg.Faults.FreezeEvents() {
+		ev := ev
+		e.cl.Eng.At(ev.T, func() { e.onFreezeEvent(ev) })
+	}
+}
+
+func (e *Engine) onFreezeEvent(ev faults.FreezeEvent) {
+	if !ev.Frozen {
+		if e.ad != nil {
+			e.ad.SetAvoid(ev.Node, false)
+		}
+		return
+	}
+	e.stats.Freezes++
+	if e.ad != nil {
+		e.ad.SetAvoid(ev.Node, true)
+		for _, svcID := range e.ad.NodeUnreachable(e.cl.Eng.Now(), ev.Node) {
+			e.kill(svcID)
+		}
+	}
+}
+
+// scheduleReconcile chains the periodic reservation sweep from
+// ReconcileEvery to the horizon.
+func (e *Engine) scheduleReconcile() {
+	var tick func()
+	next := e.cfg.ReconcileEvery
+	tick = func() {
+		e.reconcile()
+		next += e.cfg.ReconcileEvery
+		if next < e.cfg.Horizon {
+			e.cl.Eng.At(next, tick)
+		}
+	}
+	if next < e.cfg.Horizon {
+		e.cl.Eng.At(next, tick)
+	}
+}
+
+// reconcile sweeps every provider ledger against the active-session
+// registry and reclaims orphans: reservations for departed or killed
+// services (whose Dissolve a dark radio swallowed), and reservations
+// for tasks a live session migrated away from the holding node while
+// it was unreachable. It models the local lease expiry a deployed
+// provider would run — the node itself notices its organizer is gone
+// and frees the grant — so reclaiming via direct ledger calls is the
+// node's own cleanup, not an out-of-band message. Live sessions are
+// only inspected when their organizer is quiescent: mid-round, an
+// award-time reservation legitimately precedes its published
+// assignment. All iteration orders are sorted, so the sweep is
+// deterministic.
+func (e *Engine) reconcile() {
+	for _, id := range e.cl.Medium.IDs() {
+		n := e.cl.Node(id)
+		if n == nil {
+			continue
+		}
+		prov := n.Provider
+		for _, svcID := range prov.ServiceIDs() {
+			org, active := e.activeSvc[svcID]
+			if !active {
+				prov.ReleaseService(svcID)
+				e.stats.Reclaimed++
+				continue
+			}
+			if !org.Quiescent() {
+				continue
+			}
+			for _, tid := range prov.ReservedTasks(svcID) {
+				if a, ok := org.Assignment(tid); !ok || a.Node != id {
+					prov.DropTask(svcID, tid)
+					e.stats.Reclaimed++
+				}
+			}
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/proto"
 	"repro/internal/radio"
 )
 
@@ -29,6 +30,10 @@ type ScenarioConfig struct {
 	Radio radio.Config
 	// Provider configures every node's QoS Provider.
 	Provider core.ProviderConfig
+	// Retry enables the at-least-once reliability layer (sequence
+	// envelopes, bounded retransmission, receiver dedup) on every node.
+	// The zero value keeps the historical bare transport.
+	Retry proto.RetryConfig
 }
 
 // DefaultScenario returns the baseline configuration used by the
@@ -67,6 +72,11 @@ func Build(cfg ScenarioConfig) (*Scenario, error) {
 		mix = DefaultMix
 	}
 	cl := core.NewCluster(cfg.Seed, cfg.Radio, cfg.Provider)
+	if cfg.Retry.Enabled() {
+		if err := cl.SetRetry(cfg.Retry); err != nil {
+			return nil, err
+		}
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5e3779b97f4a7c15))
 	sc := &Scenario{Cluster: cl, Profiles: make(map[radio.NodeID]Profile), Rng: rng}
 

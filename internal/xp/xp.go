@@ -104,6 +104,12 @@ func All() []Experiment {
 			Claim: "run-time adaptation is bidirectional — degraded sessions reclaim quality when capacity frees (S4)", Run: E23UpgradeReclamation},
 		{ID: "E24", Title: "City-scale adaptation under hotspot imbalance",
 			Claim: "mid-session adaptation concentrates its work where the load is, lifting city-wide survival (S1, S4)", Run: E24CityAdaptation},
+		{ID: "E25", Title: "Admission under message loss: retransmission vs bare protocol",
+			Claim: "bounded blind retransmission with backoff recovers most of the admission a lossy radio destroys (S2)", Run: E25LossRetry},
+		{ID: "E26", Title: "Loss shape at equal mean drop rate",
+			Claim: "bursty loss defeats bounded retransmission where i.i.d. loss of equal mean does not", Run: E26BurstLoss},
+		{ID: "E27", Title: "Transient partitions: reconfiguration and reclamation",
+			Claim: "coalitions reconfigure around a split and the reconciliation sweep reclaims what the cut stranded (S4)", Run: E27PartitionHeal},
 	}
 }
 

@@ -8,6 +8,9 @@
 #   E20  the city fabric's shard pool nested inside the sweep (PR 4)
 #   E22-E24  the mid-session adaptation engine, which must stay a pure
 #            function of (cluster, config, seed) at any width (PR 5)
+#   E25-E27  the chaos experiments: the fault injector and the
+#            reliability layer draw only from private seeded rngs, so
+#            faulted tables pin like clean ones (PR 7)
 #
 # Since PR 6 the session engine has two implementations — the pooled
 # fast path (default) and the retained -slowpath reference loop — so
@@ -16,7 +19,7 @@
 #   parallel 1 vs parallel 8      on the pooled fast path
 #   fast path vs -slowpath        at parallel 8 (the equivalence gate)
 #
-# Usage: scripts/determinism.sh [EXPERIMENT...]   (default: E1 E17 E20 E22 E23 E24)
+# Usage: scripts/determinism.sh [EXPERIMENT...]   (default: E1 E17 E20 E22-E27)
 #
 # Only wall-clock lines ("elapsed") may differ between runs; any other
 # byte is a determinism regression in a worker pool, an accumulator, or
@@ -28,7 +31,7 @@ cd "$(dirname "$0")/.."
 
 exps=("$@")
 if [ "${#exps[@]}" -eq 0 ]; then
-  exps=(E1 E17 E20 E22 E23 E24)
+  exps=(E1 E17 E20 E22 E23 E24 E25 E26 E27)
 fi
 
 bin="$(mktemp -d)/qosbench"
