@@ -17,6 +17,18 @@
 // CI). -json additionally writes a machine-readable results document
 // (run metadata, config, and per-experiment wall time) for recording
 // benchmark trajectories across commits; FILE may be "-" for stdout.
+//
+// Observability flags:
+//
+//	-trace-out FILE   collect every replication's flight-recorder
+//	                  events (experiments that support tracing) into a
+//	                  journal and write it as JSONL; the bytes are
+//	                  identical at any -parallel width and with
+//	                  -slowpath (scripts/determinism.sh diffs them)
+//	-store FILE       append the run's experiment metrics to the
+//	                  results-store JSONL (rendered by cmd/qostrend)
+//	-cpuprofile FILE  write a pprof CPU profile of the suite run
+//	-memprofile FILE  write a pprof heap profile taken after the run
 package main
 
 import (
@@ -26,10 +38,12 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/internal/xp"
 )
 
@@ -43,6 +57,11 @@ type options struct {
 	parallel int
 	jsonPath string
 	slowpath bool
+
+	traceOut   string
+	storePath  string
+	cpuProfile string
+	memProfile string
 }
 
 // parseFlags parses args (without the program name) into options.
@@ -60,6 +79,10 @@ func parseFlags(args []string, errw io.Writer) (*options, error) {
 	fs.IntVar(&o.parallel, "parallel", runtime.NumCPU(), "worker-pool width for replications (1 = sequential; output is identical at any width)")
 	fs.StringVar(&o.jsonPath, "json", "", "write a JSON results document to FILE (\"-\" = stdout, suppressing the text tables)")
 	fs.BoolVar(&o.slowpath, "slowpath", false, "drive the open-system experiments on the reference (unpooled) session loop; tables are bit-identical to the default fast path")
+	fs.StringVar(&o.traceOut, "trace-out", "", "write the suite's flight-recorder trace as JSONL to FILE")
+	fs.StringVar(&o.storePath, "store", "", "append experiment metrics to the results-store JSONL at FILE")
+	fs.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to FILE")
+	fs.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to FILE (taken after the run)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err // fs has already printed the error and usage
 	}
@@ -97,9 +120,12 @@ func selectExperiments(run string) ([]xp.Experiment, error) {
 }
 
 // runSuite executes exps, prints tables to out, and returns the results
-// document plus the number of failed experiments.
-func runSuite(o *options, exps []xp.Experiment, out, errw io.Writer) (*metrics.Results, int) {
+// document plus the number of failed experiments. A non-nil journal
+// switches the flight recorder on: every experiment records under its
+// own ID as the scope group.
+func runSuite(o *options, exps []xp.Experiment, journal *trace.Journal, out, errw io.Writer) (*metrics.Results, int) {
 	cfg := xp.Config{Seed: o.seed, Repeats: o.repeats, Quick: o.quick, Parallel: o.parallel, SlowPath: o.slowpath}
+	cfg.Trace = journal
 	res := metrics.NewResults("qosbench", map[string]any{
 		"seed": o.seed, "repeats": o.repeats, "quick": o.quick,
 		"parallel": o.parallel, "run": o.run,
@@ -108,6 +134,7 @@ func runSuite(o *options, exps []xp.Experiment, out, errw io.Writer) (*metrics.R
 	failed := 0
 	for _, e := range exps {
 		start := time.Now()
+		cfg.TraceGroup = e.ID
 		table, err := e.Run(cfg)
 		elapsed := time.Since(start)
 		res.Add(e.ID, e.Title, e.Claim, elapsed, table, err)
@@ -147,14 +174,79 @@ func main() {
 	if o.jsonPath == "-" {
 		out = io.Discard
 	}
-	res, failed := runSuite(o, exps, out, os.Stderr)
-	if o.jsonPath != "" {
-		if err := res.WriteFile(o.jsonPath); err != nil {
+	if o.cpuProfile != "" {
+		f, err := os.Create(o.cpuProfile)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	var journal *trace.Journal
+	if o.traceOut != "" {
+		journal = trace.NewJournal()
+	}
+	res, failed := runSuite(o, exps, journal, out, os.Stderr)
+	if err := writeArtifacts(o, res, journal); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// writeArtifacts emits the post-run documents: the JSON results file,
+// the trace JSONL, the results-store entries, and the heap profile.
+func writeArtifacts(o *options, res *metrics.Results, journal *trace.Journal) error {
+	if o.jsonPath != "" {
+		if err := res.WriteFile(o.jsonPath); err != nil {
+			return err
+		}
+	}
+	if journal != nil {
+		f, err := os.Create(o.traceOut)
+		if err != nil {
+			return err
+		}
+		if err := journal.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if o.storePath != "" {
+		store, err := metrics.OpenJSONLStore(o.storePath)
+		if err != nil {
+			return err
+		}
+		for _, e := range res.Entries("qosbench") {
+			if err := store.Record(e); err != nil {
+				store.Close()
+				return err
+			}
+		}
+		if err := store.Close(); err != nil {
+			return err
+		}
+	}
+	if o.memProfile != "" {
+		f, err := os.Create(o.memProfile)
+		if err != nil {
+			return err
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
 }

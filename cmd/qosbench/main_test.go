@@ -6,11 +6,14 @@ import (
 	"errors"
 	"flag"
 	"io"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 func TestParseFlagsDefaults(t *testing.T) {
@@ -30,12 +33,16 @@ func TestParseFlagsAll(t *testing.T) {
 	o, err := parseFlags([]string{
 		"-seed", "7", "-repeats", "3", "-quick", "-csv",
 		"-run", "E1,E5", "-parallel", "8", "-json", "out.json",
+		"-trace-out", "trace.jsonl", "-store", "results.jsonl",
+		"-cpuprofile", "cpu.pprof", "-memprofile", "mem.pprof",
 	}, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := options{seed: 7, repeats: 3, quick: true, csv: true,
-		run: "E1,E5", parallel: 8, jsonPath: "out.json"}
+		run: "E1,E5", parallel: 8, jsonPath: "out.json",
+		traceOut: "trace.jsonl", storePath: "results.jsonl",
+		cpuProfile: "cpu.pprof", memProfile: "mem.pprof"}
 	if *o != want {
 		t.Errorf("got %+v, want %+v", *o, want)
 	}
@@ -92,7 +99,7 @@ func TestRunSuiteParallelIdenticalOutput(t *testing.T) {
 	for _, par := range []int{1, 8} {
 		var out, errw bytes.Buffer
 		o := &options{seed: 1, repeats: 2, quick: true, run: "E1,E5", parallel: par}
-		r, failed := runSuite(o, exps, &out, &errw)
+		r, failed := runSuite(o, exps, nil, &out, &errw)
 		if failed != 0 {
 			t.Fatalf("parallel=%d: %d failures: %s", par, failed, errw.String())
 		}
@@ -123,5 +130,76 @@ func TestRunSuiteParallelIdenticalOutput(t *testing.T) {
 	}
 	if _, err := json.Marshal(res); err != nil {
 		t.Errorf("results document does not marshal: %v", err)
+	}
+}
+
+// TestSuiteTraceAndStoreArtifacts runs a traced quick suite twice —
+// parallel 1 and 8 — and checks the CLI-level flight-recorder
+// contract: the journal serializes to identical JSONL at both widths,
+// and writeArtifacts lands the trace file plus one store entry per
+// experiment-table row (and wall-time entry).
+func TestSuiteTraceAndStoreArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	exps, err := selectExperiments("E17,E26")
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(par int) (string, *metrics.Results) {
+		journal := trace.NewJournal()
+		o := &options{seed: 1, repeats: 2, quick: true, parallel: par,
+			traceOut: filepath.Join(dir, "trace.jsonl"), storePath: filepath.Join(dir, "results.jsonl")}
+		res, failed := runSuite(o, exps, journal, io.Discard, io.Discard)
+		if failed != 0 {
+			t.Fatalf("parallel=%d: %d failures", par, failed)
+		}
+		var buf bytes.Buffer
+		if err := journal.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := writeArtifacts(o, res, journal); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), res
+	}
+	trace1, _ := render(1)
+	trace8, res := render(8)
+	if trace1 == "" {
+		t.Fatal("traced suite recorded nothing")
+	}
+	if trace1 != trace8 {
+		t.Error("suite trace differs between -parallel 1 and 8")
+	}
+	for _, scope := range []string{`"scope":"E17/0000"`, `"scope":"E26/0000"`} {
+		if !strings.Contains(trace1, scope) {
+			t.Errorf("trace missing %s", scope)
+		}
+	}
+
+	raw, err := os.ReadFile(filepath.Join(dir, "trace.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != trace8 {
+		t.Error("trace file does not match the journal serialization")
+	}
+
+	entries, err := metrics.ReadStore(filepath.Join(dir, "results.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two renders appended twice; each suite contributes rows+wall per
+	// experiment.
+	want := 2 * len(res.Entries("qosbench"))
+	if len(entries) != want {
+		t.Fatalf("store entries = %d, want %d", len(entries), want)
+	}
+	found := false
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name, "E17/") && e.Kind == "experiment" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("store has no E17 experiment rows")
 	}
 }

@@ -27,6 +27,16 @@
 // spikes, duplication, node freezes, transient 2-way partitions; see
 // internal/faults) with the protocol's reliability layer on, and
 // reports what the adversary did and what the hardening recovered.
+//
+// Observability flags (both modes unless noted):
+//
+//	-trace-out FILE   write the structured flight-recorder trace as
+//	                  JSONL (open mode: engine events; one-shot mode:
+//	                  protocol events)
+//	-store FILE       open mode: append the run's headline metrics to
+//	                  the results-store JSONL (see cmd/qostrend)
+//	-cpuprofile FILE  write a pprof CPU profile of the run
+//	-memprofile FILE  write a pprof heap profile taken after the run
 package main
 
 import (
@@ -35,12 +45,17 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
+	"time"
 
 	"repro/internal/adapt"
 	"repro/internal/arrival"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/qos"
 	"repro/internal/radio"
@@ -72,6 +87,11 @@ type options struct {
 	adapt    string
 	slowpath bool
 	faults   bool
+
+	traceOut   string
+	storePath  string
+	cpuProfile string
+	memProfile string
 }
 
 // parseFlags parses args (without the program name) into options.
@@ -97,6 +117,10 @@ func parseFlags(args []string, errw io.Writer) (*options, error) {
 	fs.StringVar(&o.adapt, "adapt", "off", "open mode: mid-session QoS adaptation: off | kill | migrate | degrade")
 	fs.BoolVar(&o.slowpath, "slowpath", false, "open mode: drive the reference (unpooled) session loop; output is bit-identical to the default fast path")
 	fs.BoolVar(&o.faults, "faults", false, "open mode: inject the representative deterministic fault plan with the reliability layer on")
+	fs.StringVar(&o.traceOut, "trace-out", "", "write the flight-recorder trace as JSONL to FILE")
+	fs.StringVar(&o.storePath, "store", "", "open mode: append headline metrics to the results-store JSONL at FILE")
+	fs.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to FILE")
+	fs.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to FILE (taken after the run)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -176,6 +200,11 @@ func runOpen(o *options, out io.Writer) error {
 		cfg.Organizer.Monitor = false
 		cfg.Organizer.Reconfigure = false
 	}
+	var journal *trace.Journal
+	if o.traceOut != "" {
+		journal = trace.NewJournal()
+		cfg.Trace = trace.NewRecorder(journal.Scope(trace.ScopeName("qosim", 0)))
+	}
 	eng, err := session.New(sc.Cluster, cfg, o.seed)
 	if err != nil {
 		return err
@@ -202,30 +231,133 @@ func runOpen(o *options, out io.Writer) error {
 		fs := inj.Stats
 		fmt.Fprintf(out, "faults: %d loss drops, %d freeze drops, %d partition drops, %d delayed, %d duplicated\n",
 			fs.Drops, fs.FreezeDrops, fs.PartitionDrops, fs.Delayed, fs.Dups)
-		var retx, dups uint64
-		for _, id := range sc.Cluster.Nodes() {
-			n := sc.Cluster.Node(id)
-			retx += n.Retransmissions()
-			dups += n.Duplicates()
-		}
 		fmt.Fprintf(out, "hardening: %d retransmissions, %d duplicates suppressed, %d freezes bridged, %d orphaned reservations reclaimed\n",
-			retx, dups, st.Freezes, st.Reclaimed)
+			st.Counters.Get(obs.Retransmissions), st.Counters.Get(obs.Duplicates),
+			st.Freezes(), st.Reclaimed())
+	}
+	if journal != nil {
+		if err := writeTraceFile(o.traceOut, journal); err != nil {
+			return err
+		}
+	}
+	if o.storePath != "" {
+		if err := recordRun(o, st); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-// run executes one scenario and prints the report to out.
-func run(o *options, out io.Writer) error {
+// writeTraceFile serializes the journal as JSONL at path.
+func writeTraceFile(path string, journal *trace.Journal) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := journal.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// recordRun appends the open run's headline metrics — steady-state
+// quality plus the unified hardening counters — to the results store,
+// keyed by the commit of the running binary.
+func recordRun(o *options, st *session.Stats) error {
+	store, err := metrics.OpenJSONLStore(o.storePath)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	m := map[string]float64{
+		"admission": st.AdmissionRatio(),
+		"qos_dist":  st.DistanceAvg,
+		"live_avg":  st.LiveAvg,
+		"cpu_util":  st.Util[resource.CPU],
+	}
+	for name, v := range st.Counters {
+		m[name] = float64(v)
+	}
+	return store.Record(metrics.Entry{
+		Commit:  metrics.Describe(),
+		Date:    time.Now().UTC().Format(time.RFC3339),
+		Source:  "qosim",
+		Kind:    "experiment",
+		Name:    "qosim/open",
+		Metrics: m,
+	})
+}
+
+// run wraps the selected mode with the optional pprof profiles: the
+// CPU profile spans the run; the heap profile is taken after it.
+func run(o *options, out io.Writer) (err error) {
+	if o.cpuProfile != "" {
+		f, ferr := os.Create(o.cpuProfile)
+		if ferr != nil {
+			return ferr
+		}
+		if perr := pprof.StartCPUProfile(f); perr != nil {
+			f.Close()
+			return perr
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}()
+	}
+	if o.memProfile != "" {
+		defer func() {
+			if err == nil {
+				err = writeMemProfile(o.memProfile)
+			}
+		}()
+	}
 	if o.open {
 		return runOpen(o, out)
 	}
+	return runOneShot(o, out)
+}
+
+// writeMemProfile snapshots the heap (after a GC, so live objects
+// dominate) to path.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// runOneShot executes one formation scenario and prints the report.
+func runOneShot(o *options, out io.Writer) error {
 	ring := trace.NewRing(4096)
+	var traceBuf *trace.Buffer
+	var sink trace.Tracer
+	if o.showTrace {
+		sink = ring
+	}
+	if o.traceOut != "" {
+		traceBuf = &trace.Buffer{}
+		if sink != nil {
+			sink = trace.Multi{ring, traceBuf}
+		} else {
+			sink = traceBuf
+		}
+	}
 	scfg := workload.DefaultScenario(o.seed)
 	scfg.Nodes = o.nodes
 	scfg.Mobile = o.mobile
 	scfg.Radio.LossProb = o.loss
-	if o.showTrace {
-		scfg.Provider.Trace = ring
+	if sink != nil {
+		scfg.Provider.Trace = sink
 	}
 	sc, err := workload.Build(scfg)
 	if err != nil {
@@ -256,8 +388,8 @@ func run(o *options, out io.Writer) error {
 	}
 
 	ocfg := core.DefaultOrganizerConfig
-	if o.showTrace {
-		ocfg.Trace = ring
+	if sink != nil {
+		ocfg.Trace = sink
 	}
 	var results []*core.Result
 	org, err := sc.Cluster.Submit(0, 0, svc, ocfg, func(r *core.Result) {
@@ -332,6 +464,17 @@ func run(o *options, out io.Writer) error {
 	}
 	if o.showTrace {
 		fmt.Fprintf(out, "\nprotocol timeline (%d events):\n%s", ring.Total(), ring.String())
+	}
+	if traceBuf != nil {
+		f, err := os.Create(o.traceOut)
+		if err != nil {
+			return err
+		}
+		if err := traceBuf.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
 	}
 	return nil
 }

@@ -2,11 +2,16 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/metrics"
 )
 
 func TestParseFlagsDefaults(t *testing.T) {
@@ -154,5 +159,87 @@ func TestRunFaultsMode(t *testing.T) {
 	}
 	if again := render(); again != got {
 		t.Errorf("-faults is not deterministic per seed:\n--- a ---\n%s--- b ---\n%s", got, again)
+	}
+}
+
+// TestRunObservabilityArtifacts drives the open+faults mode with every
+// observability flag on and checks each artifact landed: a non-empty
+// JSONL trace whose lines are JSON objects, pprof CPU and heap
+// profiles, and a results-store entry carrying the hardening counters.
+func TestRunObservabilityArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	traceOut := filepath.Join(dir, "trace.jsonl")
+	store := filepath.Join(dir, "results.jsonl")
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out bytes.Buffer
+	o, err := parseFlags([]string{
+		"-open", "-faults", "-horizon", "300", "-rate", "0.1", "-tasks", "2", "-scale", "1",
+		"-trace-out", traceOut, "-store", store, "-cpuprofile", cpu, "-memprofile", mem,
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(o, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+
+	raw, err := os.ReadFile(traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("trace JSONL is empty")
+	}
+	for i, l := range lines {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(l), &ev); err != nil {
+			t.Fatalf("trace line %d is not JSON: %v: %q", i+1, err, l)
+		}
+		if ev["scope"] != "qosim/0000" {
+			t.Fatalf("trace line %d has scope %v", i+1, ev["scope"])
+		}
+	}
+
+	entries, err := metrics.ReadStore(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name != "qosim/open" || entries[0].Kind != "experiment" {
+		t.Fatalf("store entries: %+v", entries)
+	}
+	if _, ok := entries[0].Metrics["admission"]; !ok {
+		t.Errorf("store entry missing admission: %v", entries[0].Metrics)
+	}
+	if _, ok := entries[0].Metrics["proto.retransmissions"]; !ok {
+		t.Errorf("store entry missing hardening counters: %v", entries[0].Metrics)
+	}
+
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil || fi.Size() == 0 {
+			t.Errorf("profile %s missing or empty (%v)", p, err)
+		}
+	}
+}
+
+// TestRunOneShotTraceOut: the one-shot mode serializes the protocol
+// timeline as JSONL too.
+func TestRunOneShotTraceOut(t *testing.T) {
+	traceOut := filepath.Join(t.TempDir(), "oneshot.jsonl")
+	o, err := parseFlags([]string{"-nodes", "8", "-tasks", "2", "-trace-out", traceOut}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(o, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"kind":"cfp"`) {
+		t.Errorf("one-shot trace misses the protocol handshake:\n%s", raw)
 	}
 }

@@ -1,0 +1,229 @@
+// Command qostrend renders performance trajectories from the results
+// store (RESULTS.jsonl, see internal/metrics): how each benchmark or
+// experiment metric moved across the commits recorded in the store.
+//
+// Usage:
+//
+//	qostrend [-store FILE] [-kind bench] [-metric ns_op] [-window N]
+//	qostrend [-store FILE] -import BENCH_PR2.json BENCH_PR3.json ...
+//	qostrend [-store FILE] -baseline
+//
+// The default mode prints one row per recorded name with one column
+// per commit, oldest first (the store is append-only, so append order
+// is commit order). -import appends legacy BENCH_PR*.json documents —
+// the per-PR benchmark snapshots scripts/bench.sh has emitted since
+// PR 2 — so the whole historical trajectory lives in one store.
+// -baseline emits the newest commit's benchmarks in go-test benchmark
+// format ("BenchmarkX 1 123 ns/op"), which is exactly what the
+// scripts/benchgate.sh regression gate consumes as its baseline side.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+
+	"repro/internal/metrics"
+)
+
+// options is the parsed command line.
+type options struct {
+	store    string
+	kind     string
+	metric   string
+	window   int
+	imports  bool
+	baseline bool
+	files    []string
+}
+
+// parseFlags parses args (without the program name) into options.
+func parseFlags(args []string, errw io.Writer) (*options, error) {
+	fs := flag.NewFlagSet("qostrend", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	o := &options{}
+	fs.StringVar(&o.store, "store", "RESULTS.jsonl", "results-store JSONL file")
+	fs.StringVar(&o.kind, "kind", "bench", "entry kind to render: bench or experiment")
+	fs.StringVar(&o.metric, "metric", "ns_op", "metric to render per commit")
+	fs.IntVar(&o.window, "window", 0, "render only the newest N commits (0 = all)")
+	fs.BoolVar(&o.imports, "import", false, "append the BENCH_PR*.json files given as arguments to the store")
+	fs.BoolVar(&o.baseline, "baseline", false, "emit the newest commit's benchmarks in go-bench format for scripts/benchgate.sh")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	fail := func(format string, a ...any) (*options, error) {
+		err := fmt.Errorf(format, a...)
+		fmt.Fprintln(errw, err)
+		return nil, err
+	}
+	o.files = fs.Args()
+	if o.imports && len(o.files) == 0 {
+		return fail("qostrend: -import needs at least one BENCH_*.json argument")
+	}
+	if !o.imports && len(o.files) > 0 {
+		return fail("qostrend: unexpected arguments %q (did you mean -import?)", o.files)
+	}
+	if o.imports && o.baseline {
+		return fail("qostrend: -import and -baseline are mutually exclusive")
+	}
+	if o.window < 0 {
+		return fail("qostrend: -window must be >= 0, got %d", o.window)
+	}
+	return o, nil
+}
+
+// doImport appends every named BENCH doc to the store.
+func doImport(o *options, errw io.Writer) error {
+	st, err := metrics.OpenJSONLStore(o.store)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	total := 0
+	for _, path := range o.files {
+		doc, err := metrics.ReadBenchDoc(path)
+		if err != nil {
+			return err
+		}
+		entries := doc.Entries("import:" + path)
+		for _, e := range entries {
+			if err := st.Record(e); err != nil {
+				return err
+			}
+		}
+		total += len(entries)
+		fmt.Fprintf(errw, "qostrend: imported %d benchmarks from %s (commit %s)\n",
+			len(entries), path, doc.Commit)
+	}
+	fmt.Fprintf(errw, "qostrend: %d entries appended to %s\n", total, o.store)
+	return nil
+}
+
+// series is the store pivoted for one metric: value by (name, commit),
+// with commits in first-appearance (= append = chronological) order.
+type series struct {
+	commits []string
+	names   []string
+	cells   map[string]map[string]float64 // name -> commit -> value
+}
+
+// pivot filters entries by kind and folds them into a series. When one
+// (name, commit) pair was recorded more than once the smallest value
+// wins — the gate statistic is the per-benchmark minimum.
+func pivot(entries []metrics.Entry, kind, metric string) *series {
+	s := &series{cells: make(map[string]map[string]float64)}
+	seenCommit := make(map[string]bool)
+	seenName := make(map[string]bool)
+	for _, e := range entries {
+		if e.Kind != kind {
+			continue
+		}
+		v, ok := e.Metrics[metric]
+		if !ok {
+			continue
+		}
+		if !seenCommit[e.Commit] {
+			seenCommit[e.Commit] = true
+			s.commits = append(s.commits, e.Commit)
+		}
+		if !seenName[e.Name] {
+			seenName[e.Name] = true
+			s.names = append(s.names, e.Name)
+		}
+		row := s.cells[e.Name]
+		if row == nil {
+			row = make(map[string]float64)
+			s.cells[e.Name] = row
+		}
+		if old, ok := row[e.Commit]; !ok || v < old {
+			row[e.Commit] = v
+		}
+	}
+	sort.Strings(s.names)
+	return s
+}
+
+// fmtValue renders a metric without exponent notation (awk-friendly).
+func fmtValue(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
+
+// doTrend renders the trajectory table.
+func doTrend(o *options, entries []metrics.Entry, out io.Writer) error {
+	s := pivot(entries, o.kind, o.metric)
+	if len(s.names) == 0 {
+		return fmt.Errorf("qostrend: no %q entries with metric %q in %s", o.kind, o.metric, o.store)
+	}
+	commits := s.commits
+	if o.window > 0 && len(commits) > o.window {
+		commits = commits[len(commits)-o.window:]
+	}
+	cols := append([]string{"name"}, commits...)
+	t := metrics.NewTable(fmt.Sprintf("%s %s by commit (oldest first)", o.kind, o.metric), cols...)
+	for _, name := range s.names {
+		row := make([]any, 0, len(cols))
+		row = append(row, name)
+		for _, c := range commits {
+			if v, ok := s.cells[name][c]; ok {
+				row = append(row, fmtValue(v))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	t.Note("%d commits in store %s; cells are the per-commit minimum when recorded repeatedly", len(s.commits), o.store)
+	fmt.Fprint(out, t.String())
+	return nil
+}
+
+// doBaseline emits the newest recorded value of every benchmark in
+// go-test benchmark format. For each name the newest commit that
+// recorded it wins, so a benchmark missing from the latest snapshot
+// still gates against its most recent measurement.
+func doBaseline(o *options, entries []metrics.Entry, out io.Writer) error {
+	s := pivot(entries, "bench", "ns_op")
+	if len(s.names) == 0 {
+		return fmt.Errorf("qostrend: no bench entries in %s", o.store)
+	}
+	for _, name := range s.names {
+		for i := len(s.commits) - 1; i >= 0; i-- {
+			if v, ok := s.cells[name][s.commits[i]]; ok {
+				fmt.Fprintf(out, "%s 1 %s ns/op\n", name, fmtValue(v))
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// run dispatches the selected mode.
+func run(o *options, out, errw io.Writer) error {
+	if o.imports {
+		return doImport(o, errw)
+	}
+	entries, err := metrics.ReadStore(o.store)
+	if err != nil {
+		return err
+	}
+	if o.baseline {
+		return doBaseline(o, entries, out)
+	}
+	return doTrend(o, entries, out)
+}
+
+func main() {
+	o, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		os.Exit(2)
+	}
+	if err := run(o, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

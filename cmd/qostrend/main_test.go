@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func writeBenchDoc(t *testing.T, dir, name, commit string, ns float64) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	doc := `{"commit": "` + commit + `", "date": "2026-08-08T00:00:00Z", "go": "go1.24.0",
+	  "benchmarks": {
+	    "BenchmarkFormulate": {"ns_op": ` + fmtValue(ns) + `, "bytes_op": 816, "allocs_op": 4},
+	    "BenchmarkOptimal": {"ns_op": 116766, "bytes_op": null, "allocs_op": null}
+	  }}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseFlagsRejectsBadCombos(t *testing.T) {
+	var errw bytes.Buffer
+	if _, err := parseFlags([]string{"-import"}, &errw); err == nil {
+		t.Error("-import with no files accepted")
+	}
+	if _, err := parseFlags([]string{"stray.json"}, &errw); err == nil {
+		t.Error("stray positional argument accepted")
+	}
+	if _, err := parseFlags([]string{"-import", "-baseline", "x.json"}, &errw); err == nil {
+		t.Error("-import -baseline accepted")
+	}
+	if _, err := parseFlags([]string{"-window", "-1"}, &errw); err == nil {
+		t.Error("negative window accepted")
+	}
+}
+
+// TestImportTrendBaseline drives the full tool flow: import two legacy
+// BENCH docs, render the trend table, emit the benchgate baseline.
+func TestImportTrendBaseline(t *testing.T) {
+	dir := t.TempDir()
+	store := filepath.Join(dir, "RESULTS.jsonl")
+	d1 := writeBenchDoc(t, dir, "BENCH_PR2.json", "aaa1111", 600)
+	d2 := writeBenchDoc(t, dir, "BENCH_PR6.json", "bbb2222", 500)
+
+	var out, errw bytes.Buffer
+	o, err := parseFlags([]string{"-store", store, "-import", d1, d2}, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(o, &out, &errw); err != nil {
+		t.Fatalf("import: %v", err)
+	}
+
+	// Trend: both commits as columns, oldest first.
+	out.Reset()
+	o, err = parseFlags([]string{"-store", store}, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(o, &out, &errw); err != nil {
+		t.Fatalf("trend: %v", err)
+	}
+	text := out.String()
+	ia, ib := strings.Index(text, "aaa1111"), strings.Index(text, "bbb2222")
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Fatalf("trend misses or misorders commits:\n%s", text)
+	}
+	for _, want := range []string{"BenchmarkFormulate", "BenchmarkOptimal", "600", "500"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("trend missing %q:\n%s", want, text)
+		}
+	}
+
+	// Window 1 keeps only the newest commit.
+	out.Reset()
+	o, _ = parseFlags([]string{"-store", store, "-window", "1"}, &errw)
+	if err := run(o, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "aaa1111") {
+		t.Errorf("-window 1 kept the older commit:\n%s", out.String())
+	}
+
+	// Baseline: go-bench format lines, newest value per benchmark.
+	out.Reset()
+	o, _ = parseFlags([]string{"-store", store, "-baseline"}, &errw)
+	if err := run(o, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("baseline lines = %d:\n%s", len(lines), out.String())
+	}
+	re := regexp.MustCompile(`^Benchmark\S+ 1 [0-9.]+ ns/op$`)
+	for _, l := range lines {
+		if !re.MatchString(l) {
+			t.Errorf("baseline line not in go-bench format: %q", l)
+		}
+	}
+	if lines[0] != "BenchmarkFormulate 1 500 ns/op" {
+		t.Errorf("baseline did not pick the newest value: %q", lines[0])
+	}
+}
+
+func TestTrendOnEmptyStoreFails(t *testing.T) {
+	var out, errw bytes.Buffer
+	o, err := parseFlags([]string{"-store", filepath.Join(t.TempDir(), "none.jsonl")}, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(o, &out, &errw); err == nil {
+		t.Error("empty store rendered a trend")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/radio"
 	"repro/internal/resource"
@@ -52,7 +53,7 @@ func (n *Node) Retransmissions() uint64 {
 }
 
 // Duplicates reports the sequenced deliveries this node suppressed.
-func (n *Node) Duplicates() uint64 { return n.dedup.Duplicates }
+func (n *Node) Duplicates() uint64 { return n.dedup.Duplicates.Load() }
 
 // Cluster assembles the full simulated system on a discrete-event engine:
 // the radio medium, the node population, the shared application catalog,
@@ -61,6 +62,12 @@ type Cluster struct {
 	Eng     *sim.Engine
 	Medium  *radio.Medium
 	Catalog *Catalog
+	// Obs aggregates every hardening counter in the cluster: AddNode
+	// registers each node's retransmission, dedup and stale-release
+	// counters, and anything driving the cluster (the session engine)
+	// registers its own. One Snapshot covers them all, so no report has
+	// to loop over nodes summing fields by hand.
+	Obs *obs.Registry
 
 	providerCfg ProviderConfig
 	retry       proto.RetryConfig
@@ -75,10 +82,18 @@ type Cluster struct {
 // NewCluster builds an empty cluster on a fresh engine.
 func NewCluster(seed int64, radioCfg radio.Config, providerCfg ProviderConfig) *Cluster {
 	eng := sim.New(seed)
+	reg := obs.NewRegistry()
+	// Pre-seed the canonical names so a snapshot's key set does not
+	// depend on which features a run enabled (retry off still reports
+	// proto.retransmissions = 0, keeping snapshots comparable).
+	reg.Counter(obs.Retransmissions)
+	reg.Counter(obs.Duplicates)
+	reg.Counter(obs.StaleReleases)
 	return &Cluster{
 		Eng:         eng,
 		Medium:      radio.NewMedium(eng, radioCfg),
 		Catalog:     NewCatalog(),
+		Obs:         reg,
 		providerCfg: providerCfg,
 		nodes:       make(map[radio.NodeID]*Node),
 	}
@@ -186,10 +201,13 @@ func (c *Cluster) AddNode(spec NodeSpec) (*Node, error) {
 	if c.retry.Enabled() {
 		n.reliable = proto.NewReliable(n.tr, simTimers{c.Eng}, c.retry)
 		n.tr = n.reliable
+		c.Obs.Register(obs.Retransmissions, n.reliable.RetxCounter())
 	}
+	c.Obs.Register(obs.Duplicates, &n.dedup.Duplicates)
 	pcfg := c.providerCfg
 	pcfg.simTransport = true
 	n.Provider = NewProvider(spec.ID, n.Res, c.Catalog, n.tr, simTimers{c.Eng}, pcfg)
+	c.Obs.Register(obs.StaleReleases, &n.Provider.StaleReleases)
 	handler := func(from radio.NodeID, msg any) {
 		pm, ok := msg.(proto.Msg)
 		if !ok {

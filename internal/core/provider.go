@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/qos"
 	"repro/internal/radio"
@@ -130,8 +131,9 @@ type Provider struct {
 	Accepts   int
 	Declines  int
 	// StaleReleases counts TaskRelease messages refused because their
-	// round predated the round that placed the current reservation.
-	StaleReleases int
+	// round predated the round that placed the current reservation; it
+	// registers into the cluster's obs.Registry as obs.StaleReleases.
+	StaleReleases obs.Counter
 }
 
 // NewProvider wires a provider to its node's resources, the shared
@@ -480,7 +482,7 @@ func (p *Provider) onTaskRelease(_ radio.NodeID, m *proto.TaskRelease) {
 		var entry reservationEntry
 		entry, ok = st.reservations[m.TaskID]
 		if ok && m.Round < entry.round {
-			p.StaleReleases++
+			p.StaleReleases.Inc()
 			ok = false
 		} else if ok {
 			id = entry.id

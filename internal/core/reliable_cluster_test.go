@@ -115,8 +115,8 @@ func TestStaleReleaseRefused(t *testing.T) {
 	if n.Res.Available() != before {
 		t.Fatal("stale release freed the reservation")
 	}
-	if n.Provider.StaleReleases != 1 {
-		t.Fatalf("StaleReleases = %d, want 1", n.Provider.StaleReleases)
+	if n.Provider.StaleReleases.Load() != 1 {
+		t.Fatalf("StaleReleases = %d, want 1", n.Provider.StaleReleases.Load())
 	}
 
 	// A release at or after the placement round is honoured.

@@ -10,10 +10,10 @@ import (
 	"fmt"
 	"math"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/radio"
 	"repro/internal/resource"
@@ -56,11 +56,16 @@ type Runtime struct {
 	// Sent, Delivered and Dropped count message traffic. Overflows counts
 	// the subset of drops caused by a full inbox (receiver saturation, as
 	// opposed to range or membership failures) — the live analogue of a
-	// congested radio queue, watched by the chaos invariants.
-	Sent      atomic.Uint64
-	Delivered atomic.Uint64
-	Dropped   atomic.Uint64
-	Overflows atomic.Uint64
+	// congested radio queue, watched by the chaos invariants. All four
+	// register into Obs alongside each node's protocol counters.
+	Sent      obs.Counter
+	Delivered obs.Counter
+	Dropped   obs.Counter
+	Overflows obs.Counter
+
+	// Obs aggregates the runtime's traffic counters and every node's
+	// retransmission/dedup counters into one snapshot.
+	Obs *obs.Registry
 }
 
 // Node is one live agent.
@@ -93,7 +98,7 @@ func (n *Node) transport() proto.Transport {
 
 // Duplicates reports the sequenced deliveries this node suppressed. Call
 // after Shutdown (or quiesce) — the counter is owned by the loop goroutine.
-func (n *Node) Duplicates() uint64 { return n.dedup.Duplicates }
+func (n *Node) Duplicates() uint64 { return n.dedup.Duplicates.Load() }
 
 // NewRuntime builds an empty runtime.
 func NewRuntime(cfg Config) *Runtime {
@@ -103,12 +108,21 @@ func NewRuntime(cfg Config) *Runtime {
 	if cfg.InboxDepth <= 0 {
 		cfg.InboxDepth = 256
 	}
-	return &Runtime{
+	rt := &Runtime{
 		cfg:     cfg,
 		catalog: core.NewCatalog(),
 		start:   time.Now(),
 		nodes:   make(map[radio.NodeID]*Node),
+		Obs:     obs.NewRegistry(),
 	}
+	rt.Obs.Register(obs.LiveSent, &rt.Sent)
+	rt.Obs.Register(obs.LiveDelivered, &rt.Delivered)
+	rt.Obs.Register(obs.LiveDropped, &rt.Dropped)
+	rt.Obs.Register(obs.LiveOverflows, &rt.Overflows)
+	rt.Obs.Counter(obs.Retransmissions)
+	rt.Obs.Counter(obs.Duplicates)
+	rt.Obs.Counter(obs.StaleReleases)
+	return rt
 }
 
 // Catalog exposes the shared application catalog.
@@ -230,8 +244,11 @@ func (rt *Runtime) AddNode(id radio.NodeID, pos radio.Pos, rangeM, bitrate float
 	}
 	if rt.cfg.Retry.Enabled() {
 		n.reliable = proto.NewReliable(liveTransport{rt: rt, id: id}, liveTimers{rt}, rt.cfg.Retry)
+		rt.Obs.Register(obs.Retransmissions, n.reliable.RetxCounter())
 	}
+	rt.Obs.Register(obs.Duplicates, &n.dedup.Duplicates)
 	n.Provider = core.NewProvider(id, n.Res, rt.catalog, n.transport(), liveTimers{rt}, rt.cfg.Provider)
+	rt.Obs.Register(obs.StaleReleases, &n.Provider.StaleReleases)
 	rt.nodes[id] = n
 	go n.loop()
 	return n, nil

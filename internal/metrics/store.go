@@ -1,0 +1,265 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The results store is the repo's performance memory: an append-only
+// JSONL file (one Entry per line) that benchmark and experiment runs
+// write into, keyed by the commit that produced them. cmd/qostrend
+// renders trajectories across commits from it and emits the baseline
+// table scripts/benchgate.sh gates on; scripts/bench.sh appends each
+// snapshot it takes. JSONL because append-only survives concurrent
+// tooling and partial writes corrupt at most the last line.
+
+// Entry is one record of the results store: a named measurement set
+// from one tool run at one commit.
+type Entry struct {
+	// Commit is the git-describe-style identifier of the producing
+	// build ("3f2a1bc" or "3f2a1bc-dirty").
+	Commit string `json:"commit"`
+	// Date is the RFC3339 UTC timestamp of the run (optional).
+	Date string `json:"date,omitempty"`
+	// Source names the producing tool: "qosbench", "qosim", "bench.sh".
+	Source string `json:"source,omitempty"`
+	// Kind classifies the record: "bench" for benchmark points,
+	// "experiment" for experiment-table rows.
+	Kind string `json:"kind"`
+	// Name identifies the measurement: a benchmark name
+	// ("BenchmarkE17OfferedLoad") or an experiment row key
+	// ("E17/rate/s=0.05").
+	Name string `json:"name"`
+	// Metrics holds the numeric observations, e.g. ns_op/bytes_op/
+	// allocs_op for benchmarks or the table columns for experiments.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Sink receives store entries. Implementations: JSONLStore (the
+// durable file store) and MemStore (tests and dry runs).
+type Sink interface {
+	Record(Entry) error
+}
+
+// MemStore is an in-memory Sink.
+type MemStore struct {
+	Entries []Entry
+}
+
+// Record appends e.
+func (m *MemStore) Record(e Entry) error {
+	m.Entries = append(m.Entries, e)
+	return nil
+}
+
+// JSONLStore appends entries to a JSONL file, one JSON object per
+// line. Open with OpenJSONLStore, Close when done.
+type JSONLStore struct {
+	f *os.File
+}
+
+// OpenJSONLStore opens (creating if absent) the store at path for
+// appending.
+func OpenJSONLStore(path string) (*JSONLStore, error) {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &JSONLStore{f: f}, nil
+}
+
+// Record appends one entry as a JSON line.
+func (s *JSONLStore) Record(e Entry) error {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = s.f.Write(b)
+	return err
+}
+
+// Close flushes and closes the underlying file.
+func (s *JSONLStore) Close() error { return s.f.Close() }
+
+// ReadStore parses every entry of the JSONL store at path. A missing
+// file is an empty store, not an error; a malformed line is an error
+// naming its line number.
+func ReadStore(path string) ([]Entry, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []Entry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal([]byte(text), &e); err != nil {
+			return nil, fmt.Errorf("metrics: %s line %d: %w", path, line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// BenchPoint is one benchmark's measurements inside a BenchDoc.
+// Pointers because bench.sh writes null for missing columns.
+type BenchPoint struct {
+	NsOp     float64  `json:"ns_op"`
+	BytesOp  *float64 `json:"bytes_op"`
+	AllocsOp *float64 `json:"allocs_op"`
+}
+
+// BenchDoc is a BENCH_PR*.json document. The shape evolved across
+// PRs: PR 2 recorded hand-annotated before/after sides with a "pr"
+// number, PR 3 kept "pr" but a single "benchmarks" object, and since
+// PR 4 scripts/bench.sh emits {commit, date, go, benchmarks}.
+// ReadBenchDoc normalizes all three so the whole trajectory imports.
+type BenchDoc struct {
+	PR         int                   `json:"pr"`
+	Commit     string                `json:"commit"`
+	Date       string                `json:"date"`
+	Go         string                `json:"go"`
+	Benchmarks map[string]BenchPoint `json:"benchmarks"`
+	// After is the PR-2 document's committed side (its "before" side
+	// predates the repo's trajectory and is not imported).
+	After map[string]BenchPoint `json:"after"`
+}
+
+// ReadBenchDoc parses one BENCH_PR*.json file, normalizing the legacy
+// shapes: a missing "benchmarks" object falls back to the PR-2 "after"
+// side, and a missing commit falls back to the "PR<n>" label.
+func ReadBenchDoc(path string) (*BenchDoc, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d BenchDoc
+	if err := json.Unmarshal(b, &d); err != nil {
+		return nil, fmt.Errorf("metrics: %s: %w", path, err)
+	}
+	if d.Benchmarks == nil {
+		d.Benchmarks = d.After
+	}
+	if d.Benchmarks == nil {
+		return nil, fmt.Errorf("metrics: %s: no benchmarks or after object", path)
+	}
+	if d.Commit == "" {
+		if d.PR == 0 {
+			return nil, fmt.Errorf("metrics: %s: neither commit nor pr identifies the snapshot", path)
+		}
+		d.Commit = fmt.Sprintf("PR%d", d.PR)
+	}
+	return &d, nil
+}
+
+// Entries converts the document into store entries, sorted by
+// benchmark name so an import is deterministic.
+func (d *BenchDoc) Entries(source string) []Entry {
+	names := make([]string, 0, len(d.Benchmarks))
+	for name := range d.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]Entry, 0, len(names))
+	for _, name := range names {
+		p := d.Benchmarks[name]
+		m := map[string]float64{"ns_op": p.NsOp}
+		if p.BytesOp != nil {
+			m["bytes_op"] = *p.BytesOp
+		}
+		if p.AllocsOp != nil {
+			m["allocs_op"] = *p.AllocsOp
+		}
+		out = append(out, Entry{Commit: d.Commit, Date: d.Date, Source: source,
+			Kind: "bench", Name: name, Metrics: m})
+	}
+	return out
+}
+
+// Metrics flattens the table into one metric map per row, keyed by
+// column name. Cells are parsed as floats; percentage cells (the
+// Ratio formatter's "61.3%") are parsed as fractions (0.613);
+// non-numeric cells are skipped. The returned row keys pair each map
+// with its sweep-point label "col0=cell0".
+func (t *Table) Metrics() (keys []string, rows []map[string]float64) {
+	for _, row := range t.Rows {
+		key := ""
+		if len(t.Cols) > 0 && len(row) > 0 {
+			key = t.Cols[0] + "=" + row[0]
+		}
+		m := make(map[string]float64)
+		for i, cell := range row {
+			if i == 0 || i >= len(t.Cols) {
+				continue
+			}
+			if v, ok := parseMetricCell(cell); ok {
+				m[t.Cols[i]] = v
+			}
+		}
+		keys = append(keys, key)
+		rows = append(rows, m)
+	}
+	return keys, rows
+}
+
+func parseMetricCell(cell string) (float64, bool) {
+	s := strings.TrimSpace(cell)
+	if pct := strings.TrimSuffix(s, "%"); pct != s {
+		v, err := strconv.ParseFloat(pct, 64)
+		if err != nil {
+			return 0, false
+		}
+		return v / 100, true
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Entries converts a suite-run document into store entries: one per
+// experiment-table row (named "<ID>/<col0>=<cell0>") carrying the
+// row's numeric columns, plus one "<ID>/wall" entry with the
+// experiment's wall-clock seconds. Experiments that errored are
+// skipped — the store records measurements, not failures.
+func (r *Results) Entries(source string) []Entry {
+	var out []Entry
+	for _, xp := range r.Experiments {
+		if xp.Error != "" || xp.Table == nil {
+			continue
+		}
+		keys, rows := xp.Table.Metrics()
+		for i, m := range rows {
+			if len(m) == 0 {
+				continue
+			}
+			out = append(out, Entry{Commit: r.Describe, Date: r.Started, Source: source,
+				Kind: "experiment", Name: xp.ID + "/" + keys[i], Metrics: m})
+		}
+		out = append(out, Entry{Commit: r.Describe, Date: r.Started, Source: source,
+			Kind: "experiment", Name: xp.ID + "/wall",
+			Metrics: map[string]float64{"seconds": xp.WallSeconds}})
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestJSONLStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	want := []Entry{
+		{Commit: "abc1234", Source: "bench.sh", Kind: "bench",
+			Name: "BenchmarkFormulate", Metrics: map[string]float64{"ns_op": 494.9, "allocs_op": 4}},
+		{Commit: "def5678", Kind: "experiment",
+			Name: "E17/rate/s=0.05", Metrics: map[string]float64{"admission": 0.97}},
+	}
+	st, err := OpenJSONLStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range want[:1] {
+		if err := st.Record(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-open: the store is append-only across sessions.
+	st, err = OpenJSONLStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Record(want[1]); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	got, err := ReadStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestReadStoreMissingFileIsEmpty(t *testing.T) {
+	got, err := ReadStore(filepath.Join(t.TempDir(), "nope.jsonl"))
+	if err != nil || got != nil {
+		t.Fatalf("missing store: %v, %v", got, err)
+	}
+}
+
+func TestReadStoreRejectsMalformedLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.jsonl")
+	os.WriteFile(path, []byte("{\"kind\":\"bench\"}\nnot json\n"), 0o644)
+	if _, err := ReadStore(path); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+}
+
+func TestBenchDocEntries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	os.WriteFile(path, []byte(`{
+	  "commit": "69b88cf", "date": "2026-08-08T00:00:00Z", "go": "go1.24.0",
+	  "benchmarks": {
+	    "BenchmarkB": {"ns_op": 2, "bytes_op": null, "allocs_op": null},
+	    "BenchmarkA": {"ns_op": 1, "bytes_op": 10, "allocs_op": 3}
+	  }
+	}`), 0o644)
+	d, err := ReadBenchDoc(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := d.Entries("import")
+	want := []Entry{
+		{Commit: "69b88cf", Date: "2026-08-08T00:00:00Z", Source: "import", Kind: "bench",
+			Name: "BenchmarkA", Metrics: map[string]float64{"ns_op": 1, "bytes_op": 10, "allocs_op": 3}},
+		{Commit: "69b88cf", Date: "2026-08-08T00:00:00Z", Source: "import", Kind: "bench",
+			Name: "BenchmarkB", Metrics: map[string]float64{"ns_op": 2}},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("entries:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestTableMetricsParsesRatioCells(t *testing.T) {
+	tb := NewTable("t", "rate/s", "admission", "qos-dist", "label")
+	tb.AddRow(0.05, Ratio(0.613, 1), 0.25, "burst")
+	keys, rows := tb.Metrics()
+	if len(keys) != 1 || keys[0] != "rate/s=0.05" {
+		t.Fatalf("keys = %v", keys)
+	}
+	want := map[string]float64{"admission": 0.613, "qos-dist": 0.25}
+	if !reflect.DeepEqual(rows[0], want) {
+		t.Fatalf("metrics = %v, want %v", rows[0], want)
+	}
+}
+
+func TestResultsEntries(t *testing.T) {
+	r := &Results{Describe: "abc", Started: "2026-08-08T00:00:00Z"}
+	tb := NewTable("E17", "rate/s", "admission")
+	tb.AddRow(0.05, Ratio(0.97, 1))
+	r.Add("E17", "t", "c", 2e9, tb, nil)
+	r.Add("E18", "t", "c", 0, nil, os.ErrInvalid) // errored: skipped
+	got := r.Entries("qosbench")
+	if len(got) != 2 {
+		t.Fatalf("entries = %+v", got)
+	}
+	if got[0].Name != "E17/rate/s=0.05" || got[0].Metrics["admission"] != 0.97 {
+		t.Fatalf("row entry: %+v", got[0])
+	}
+	if got[1].Name != "E17/wall" || got[1].Metrics["seconds"] != 2 {
+		t.Fatalf("wall entry: %+v", got[1])
+	}
+}
+
+func TestReadBenchDocLegacyShapes(t *testing.T) {
+	dir := t.TempDir()
+	pr2 := filepath.Join(dir, "pr2.json")
+	os.WriteFile(pr2, []byte(`{"pr": 2, "title": "t",
+	  "before": {"BenchmarkX": {"ns_op": 9}},
+	  "after":  {"BenchmarkX": {"ns_op": 5}}}`), 0o644)
+	d, err := ReadBenchDoc(pr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Commit != "PR2" || d.Benchmarks["BenchmarkX"].NsOp != 5 {
+		t.Fatalf("PR-2 shape misread: %+v", d)
+	}
+
+	pr3 := filepath.Join(dir, "pr3.json")
+	os.WriteFile(pr3, []byte(`{"pr": 3, "benchmarks": {"BenchmarkX": {"ns_op": 4}}}`), 0o644)
+	d, err = ReadBenchDoc(pr3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Commit != "PR3" || d.Benchmarks["BenchmarkX"].NsOp != 4 {
+		t.Fatalf("PR-3 shape misread: %+v", d)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"title": "no measurements"}`), 0o644)
+	if _, err := ReadBenchDoc(bad); err == nil {
+		t.Error("document without benchmarks accepted")
+	}
+}

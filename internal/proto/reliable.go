@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/radio"
 )
 
@@ -134,9 +135,10 @@ type Reliable struct {
 	cfg   RetryConfig
 	seq   atomic.Uint64
 
-	// retransmissions counts retry sends actually issued, for the
-	// overhead columns of the chaos experiments.
-	retransmissions atomic.Uint64
+	// retx counts retry sends actually issued, for the overhead columns
+	// of the chaos experiments; it registers into the owning runtime's
+	// obs.Registry as "proto.retransmissions".
+	retx obs.Counter
 }
 
 // NewReliable wraps a transport. A disabled config (Retries == 0)
@@ -185,7 +187,11 @@ func (r *Reliable) wrap(m Msg) *Sequenced {
 }
 
 // Retransmissions reports the retry sends issued so far.
-func (r *Reliable) Retransmissions() uint64 { return r.retransmissions.Load() }
+func (r *Reliable) Retransmissions() uint64 { return r.retx.Load() }
+
+// RetxCounter exposes the retransmission counter for registration into
+// an obs.Registry under obs.Retransmissions.
+func (r *Reliable) RetxCounter() *obs.Counter { return &r.retx }
 
 // scheduleRetries arms the bounded retransmission timers: attempt i
 // (1-based) fires min(Backoff*Factor^(i-1), MaxBackoff)*(1+Jitter*u_i)
@@ -197,7 +203,7 @@ func (r *Reliable) scheduleRetries(send func(), seq uint64) {
 		step := math.Min(backoff, r.cfg.MaxBackoff)
 		delay += step * (1 + r.cfg.Jitter*jitter01(r.inner.Self(), seq, i))
 		r.tm.After(delay, func() {
-			r.retransmissions.Add(1)
+			r.retx.Inc()
 			send()
 		})
 		backoff *= r.cfg.Factor
@@ -216,8 +222,9 @@ func (r *Reliable) scheduleRetries(send func(), seq uint64) {
 // paths allocation-free.
 type Dedup struct {
 	bySrc map[radio.NodeID]*dedupWindow
-	// Duplicates counts sequenced deliveries suppressed.
-	Duplicates uint64
+	// Duplicates counts sequenced deliveries suppressed; it registers
+	// into the owning runtime's obs.Registry as "proto.duplicates".
+	Duplicates obs.Counter
 }
 
 // DedupWindow is the per-sender sliding-window width.
@@ -265,12 +272,12 @@ func (d *Dedup) Duplicate(from radio.NodeID, seq uint64) bool {
 		return false
 	case w.max-seq >= DedupWindow:
 		// Older than the window: cannot tell, drop as duplicate.
-		d.Duplicates++
+		d.Duplicates.Inc()
 		return true
 	default:
 		i, m := w.bit(seq)
 		if w.bits[i]&m != 0 {
-			d.Duplicates++
+			d.Duplicates.Inc()
 			return true
 		}
 		w.bits[i] |= m

@@ -191,7 +191,7 @@ func TestDedupWindow(t *testing.T) {
 	if !d.Duplicate(1, 100) {
 		t.Fatal("ancient seq accepted")
 	}
-	if d.Duplicates == 0 {
+	if d.Duplicates.Load() == 0 {
 		t.Fatal("duplicate counter never moved")
 	}
 }

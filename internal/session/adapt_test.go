@@ -2,6 +2,7 @@ package session
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -201,7 +202,7 @@ func TestAdaptRunDeterminism(t *testing.T) {
 		return st
 	}
 	a, b := run(), run()
-	if *a != *b {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("adaptive runs diverged:\na: %+v\nb: %+v", *a, *b)
 	}
 }

@@ -88,7 +88,7 @@ func TestChaosLeakGuard(t *testing.T) {
 	if st.Admitted+st.Blocked != st.Arrivals {
 		t.Errorf("admission accounting broken: %d + %d != %d", st.Admitted, st.Blocked, st.Arrivals)
 	}
-	if st.Freezes == 0 {
+	if st.Freezes() == 0 {
 		t.Error("freeze plan never fired; plan not exercised")
 	}
 	assertAllReleased(t, cl)
@@ -114,10 +114,10 @@ func TestChaosFreezeStrandsThenReclaims(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.Freezes == 0 {
+	if st.Freezes() == 0 {
 		t.Fatal("no freezes at rate 0.05 over 600s")
 	}
-	if st.Reclaimed == 0 {
+	if st.Reclaimed() == 0 {
 		t.Fatal("no reservation was ever stranded and reclaimed; the sweep was not exercised")
 	}
 	assertAllReleased(t, cl)
@@ -157,7 +157,7 @@ func TestChaosMonitorPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.Admitted == 0 || st.Freezes == 0 {
+	if st.Admitted == 0 || st.Freezes() == 0 {
 		t.Fatalf("degenerate run: %+v", st)
 	}
 	assertAllReleased(t, cl)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/adapt"
 	"repro/internal/arrival"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -366,7 +367,7 @@ func TestRecycledMutationDoesNotPerturbStats(t *testing.T) {
 		eng.candBuf[i] = 99
 	}
 
-	if *st != before {
+	if !reflect.DeepEqual(*st, before) {
 		t.Fatalf("mutating recycled pooled objects perturbed Stats:\n before: %+v\n after:  %+v", before, *st)
 	}
 }
@@ -378,9 +379,21 @@ func TestRecycledMutationDoesNotPerturbStats(t *testing.T) {
 // pooled object. Adding a reference-typed field to Stats requires
 // rethinking Merge and the recycling story — this test makes that a
 // conscious decision instead of an accident.
+//
+// One conscious exemption exists: Stats.Counters (obs.Snapshot) is a
+// map. It is safe against both hazards this test exists for because
+// (a) the engine writes it exactly once, at the very end of Run, from
+// a fresh Registry.Snapshot() — no pooled engine memory is ever
+// reachable from it — and (b) Merge never mutates it in place:
+// Snapshot.Merge returns a new map (TestStatsMergeDoesNotAliasCounters
+// pins that), so value copies of merged Stats cannot see later merges.
 func TestStatsIsReferenceFree(t *testing.T) {
+	snapshotType := reflect.TypeOf(obs.Snapshot(nil))
 	var check func(path string, ty reflect.Type)
 	check = func(path string, ty reflect.Type) {
+		if path == "Stats.Counters" && ty == snapshotType {
+			return // the documented exemption above
+		}
 		switch ty.Kind() {
 		case reflect.Ptr, reflect.Slice, reflect.Map, reflect.Chan, reflect.Func, reflect.Interface:
 			t.Errorf("%s has reference kind %v; Stats must stay a pure value", path, ty.Kind())

@@ -2,20 +2,25 @@ package session
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/resource"
 )
 
-// TestStatsMerge pins the city-fold semantics: counters sum, LiveAvg
-// sums, Util is node-weighted, DistanceAvg is admission-weighted, and a
-// pairwise merge is commutative.
+// TestStatsMerge pins the city-fold semantics: counters sum, the
+// unified counter snapshot merges key-wise, LiveAvg sums, Util is
+// node-weighted, DistanceAvg is admission-weighted, and a pairwise
+// merge is commutative.
 func TestStatsMerge(t *testing.T) {
 	a := Stats{Arrivals: 10, Admitted: 8, Blocked: 2, Departed: 7,
-		PeakLive: 3, LiveAvg: 1.5, DistanceAvg: 0.2, Nodes: 16, SimEvents: 100}
+		PeakLive: 3, LiveAvg: 1.5, DistanceAvg: 0.2, Nodes: 16, SimEvents: 100,
+		Counters: obs.Snapshot{obs.Freezes: 2, obs.Retransmissions: 5}}
 	a.Util[resource.CPU] = 0.5
 	b := Stats{Arrivals: 30, Admitted: 24, Blocked: 6, Departed: 20,
-		PeakLive: 5, LiveAvg: 2.5, DistanceAvg: 0.4, Nodes: 8, SimEvents: 50}
+		PeakLive: 5, LiveAvg: 2.5, DistanceAvg: 0.4, Nodes: 8, SimEvents: 50,
+		Counters: obs.Snapshot{obs.Freezes: 1, obs.Reclaimed: 3}}
 	b.Util[resource.CPU] = 0.2
 
 	m := a
@@ -37,10 +42,17 @@ func TestStatsMerge(t *testing.T) {
 	if m.Admitted+m.Blocked != m.Arrivals {
 		t.Fatal("admission invariant broken by merge")
 	}
+	wantCounters := obs.Snapshot{obs.Freezes: 3, obs.Retransmissions: 5, obs.Reclaimed: 3}
+	if !reflect.DeepEqual(m.Counters, wantCounters) {
+		t.Fatalf("counter snapshot not merged: %v want %v", m.Counters, wantCounters)
+	}
+	if m.Freezes() != 3 || m.Reclaimed() != 3 {
+		t.Fatalf("accessors disagree with snapshot: freezes=%d reclaimed=%d", m.Freezes(), m.Reclaimed())
+	}
 
 	n := b
 	n.Merge(&a)
-	if n != m {
+	if !reflect.DeepEqual(n, m) {
 		t.Fatalf("pairwise merge not commutative:\nab: %+v\nba: %+v", m, n)
 	}
 
@@ -50,5 +62,25 @@ func TestStatsMerge(t *testing.T) {
 	m.Merge(&empty)
 	if m.DistanceAvg != before {
 		t.Fatal("empty shard perturbed admission-weighted distance")
+	}
+}
+
+// TestStatsMergeDoesNotAliasCounters pins the alias-safety contract the
+// reference-free exemption in equivalence_test.go relies on: merging
+// into one copy of a Stats value must not change the snapshot another
+// copy shares, so folded shard statistics stay immutable once read.
+func TestStatsMergeDoesNotAliasCounters(t *testing.T) {
+	orig := Stats{Counters: obs.Snapshot{obs.Freezes: 1}}
+	copied := orig // value copy shares the map
+	more := Stats{Counters: obs.Snapshot{obs.Freezes: 10}}
+	orig.Merge(&more)
+	if got := copied.Counters.Get(obs.Freezes); got != 1 {
+		t.Fatalf("merge mutated a shared snapshot: %d", got)
+	}
+	if got := orig.Counters.Get(obs.Freezes); got != 11 {
+		t.Fatalf("merge lost counts: %d", got)
+	}
+	if got := more.Counters.Get(obs.Freezes); got != 10 {
+		t.Fatalf("merge mutated its operand: %d", got)
 	}
 }

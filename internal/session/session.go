@@ -10,9 +10,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/radio"
 	"repro/internal/resource"
 	"repro/internal/task"
+	"repro/internal/trace"
 )
 
 // ChurnConfig adds node join/leave churn as a second event stream: at
@@ -83,6 +85,14 @@ type Config struct {
 	// the periodic sweep; a final sweep still runs after the drain
 	// whenever Faults is set, so no shipped fault plan can leak.
 	ReconcileEvery float64
+	// Trace, when set, receives the engine's structured flight-recorder
+	// events: arrivals, admission verdicts, departures and kills, churn
+	// leaves, fault-plan freeze/thaw fates, reconciliation sweeps and
+	// adaptation passes. Every emission site sits on code shared by the
+	// fast and slow session loops, so a run's trace is byte-identical on
+	// both paths (scripts/determinism.sh diffs them). nil (the default)
+	// costs one pointer check per site — observability off is free.
+	Trace *trace.Recorder
 	// SlowPath selects the retained reference implementation of the
 	// session loop: per-arrival session and closure allocations,
 	// closure-chained arrival/churn streams — the pre-pooling engine
@@ -123,12 +133,16 @@ type Stats struct {
 	Reconfigurations, MemberFailures int
 	// NodeLeaves counts churn events that took a node off the air.
 	NodeLeaves int
-	// Freezes counts fault-plan freeze events applied (node went
-	// radio-dark with its state intact); Reclaimed counts orphaned
-	// reservations the reconciliation sweep released — ledger entries
-	// whose session departed, died, or migrated away while the holding
-	// node was unreachable.
-	Freezes, Reclaimed int
+	// Counters is the run's unified hardening-counter snapshot from the
+	// cluster's obs.Registry: protocol retransmissions and duplicate
+	// suppressions, provider stale-release refusals, fault-plan freezes
+	// and reconciliation reclaims (obs/names.go is the key catalog).
+	// Registering a counter is sufficient for it to appear here and in
+	// every fabric merge — no per-counter plumbing. The map is the one
+	// reference field Stats carries; Merge never mutates it in place
+	// (Snapshot.Merge returns a fresh map), so value copies of Stats
+	// stay safe to share.
+	Counters obs.Snapshot
 	// Adapt aggregates the adaptation engine's counters and per-session
 	// histories (zero when Config.Adapt is nil).
 	Adapt adapt.Stats
@@ -139,6 +153,15 @@ type Stats struct {
 	// folding heterogeneous shards.
 	Nodes int
 }
+
+// Freezes reports the fault-plan freeze events applied (node went
+// radio-dark with its state intact), from the counter snapshot.
+func (s *Stats) Freezes() int { return int(s.Counters.Get(obs.Freezes)) }
+
+// Reclaimed reports the orphaned reservations the reconciliation sweep
+// released — ledger entries whose session departed, died, or migrated
+// away while the holding node was unreachable.
+func (s *Stats) Reclaimed() int { return int(s.Counters.Get(obs.Reclaimed)) }
 
 // AdmissionRatio is Admitted/Arrivals (1 when nothing arrived).
 func (s *Stats) AdmissionRatio() float64 {
@@ -199,8 +222,7 @@ func (s *Stats) Merge(o *Stats) {
 	s.Reconfigurations += o.Reconfigurations
 	s.MemberFailures += o.MemberFailures
 	s.NodeLeaves += o.NodeLeaves
-	s.Freezes += o.Freezes
-	s.Reclaimed += o.Reclaimed
+	s.Counters = s.Counters.Merge(o.Counters)
 	s.SimEvents += o.SimEvents
 	s.Nodes += o.Nodes
 	s.Adapt.Merge(&o.Adapt)
@@ -309,6 +331,15 @@ type Engine struct {
 	utilAvg [resource.NumKinds]metrics.TimeAvg
 	dist    metrics.Sample
 
+	// rec is the flight recorder (nil = tracing off).
+	rec *trace.Recorder
+
+	// freezes/reclaimed are the engine's registered hardening counters;
+	// Run snapshots the whole cluster registry into stats.Counters at
+	// the very end, after the drain and the final reconcile sweep.
+	freezes   *obs.Counter
+	reclaimed *obs.Counter
+
 	// Pooled fast path (cfg.SlowPath false): the slot-indexed session
 	// table with its free-list, the pooled timer records, the persistent
 	// stream closures, and the churn-candidate scratch.
@@ -368,6 +399,9 @@ func New(cl *core.Cluster, cfg Config, seed int64) (*Engine, error) {
 		churnRng:  rand.New(rand.NewSource(seed ^ 0x0a4093822299f31d)),
 		protected: make(map[radio.NodeID]bool, len(cfg.Organizers)),
 		activeSvc: make(map[string]*core.Organizer),
+		freezes:   cl.Obs.Counter(obs.Freezes),
+		reclaimed: cl.Obs.Counter(obs.Reclaimed),
+		rec:       cfg.Trace,
 	}
 	for _, id := range cfg.Organizers {
 		if cl.Node(id) == nil {
@@ -483,6 +517,7 @@ func (e *Engine) Run() (*Stats, error) {
 	if e.ad != nil {
 		e.stats.Adapt = *e.ad.Stats()
 	}
+	e.stats.Counters = e.cl.Obs.Snapshot()
 	return &e.stats, nil
 }
 
@@ -575,6 +610,7 @@ func (e *Engine) onArrival() {
 		ls.id, ls.node, ls.counted = svc.ID, node, counted
 		cb = ls.onFormedFn
 	}
+	e.rec.Point(now, int(node), "engine", "arrival", svc.ID)
 	org, err := e.cl.Submit(now, node, svc, e.cfg.Organizer, cb)
 	if err != nil {
 		e.fail(fmt.Errorf("session: submit %s: %w", svc.ID, err))
@@ -598,6 +634,7 @@ func (e *Engine) onFormed(ls *liveSession, r *core.Result) {
 		if ls.counted {
 			e.stats.Arrivals--
 		}
+		e.rec.Point(e.cl.Eng.Now(), int(ls.node), "engine", "censored", ls.id)
 		e.teardown(ls, "horizon reached during formation")
 		return
 	}
@@ -605,6 +642,7 @@ func (e *Engine) onFormed(ls *liveSession, r *core.Result) {
 		if ls.counted {
 			e.stats.Admitted++
 		}
+		e.rec.Point(e.cl.Eng.Now(), int(ls.node), "engine", "admit", ls.id)
 		e.live = append(e.live, ls)
 		if e.ad != nil {
 			if err := e.ad.Admit(e.cl.Eng.Now(), ls.node, ls.org, ls.counted); err != nil {
@@ -630,6 +668,7 @@ func (e *Engine) onFormed(ls *liveSession, r *core.Result) {
 	if ls.counted {
 		e.stats.Blocked++
 	}
+	e.rec.Point(e.cl.Eng.Now(), int(ls.node), "engine", "block", ls.id)
 	e.teardown(ls, fmt.Sprintf("admission failed: %d/%d tasks assigned", len(r.Assigned), len(r.Assigned)+len(r.Unserved)))
 }
 
@@ -649,6 +688,7 @@ func (e *Engine) depart(ls *liveSession) {
 	if ls.counted && !e.draining {
 		e.stats.Departed++
 	}
+	e.rec.Point(e.cl.Eng.Now(), int(ls.node), "engine", "depart", ls.id)
 	e.teardown(ls, "session departure")
 }
 
@@ -662,6 +702,7 @@ func (e *Engine) kill(svcID string) {
 			continue
 		}
 		e.live = append(e.live[:i], e.live[i+1:]...)
+		e.rec.Point(e.cl.Eng.Now(), int(ls.node), "engine", "kill", ls.id)
 		e.teardown(ls, "session killed: coalition member lost to churn")
 		return
 	}
@@ -788,6 +829,7 @@ func (e *Engine) onLeave() {
 	victim := candidates[e.churnRng.Intn(len(candidates))]
 	e.cl.FailNode(victim)
 	e.stats.NodeLeaves++
+	e.rec.Point(e.cl.Eng.Now(), int(victim), "engine", "churn.leave", "")
 	if e.ad != nil {
 		for _, svcID := range e.ad.NodeDown(e.cl.Eng.Now()) {
 			e.kill(svcID)
@@ -821,12 +863,14 @@ func (e *Engine) scheduleFreezes() {
 
 func (e *Engine) onFreezeEvent(ev faults.FreezeEvent) {
 	if !ev.Frozen {
+		e.rec.Point(e.cl.Eng.Now(), int(ev.Node), "engine", "thaw", "")
 		if e.ad != nil {
 			e.ad.SetAvoid(ev.Node, false)
 		}
 		return
 	}
-	e.stats.Freezes++
+	e.freezes.Inc()
+	e.rec.Point(e.cl.Eng.Now(), int(ev.Node), "engine", "freeze", "")
 	if e.ad != nil {
 		e.ad.SetAvoid(ev.Node, true)
 		for _, svcID := range e.ad.NodeUnreachable(e.cl.Eng.Now(), ev.Node) {
@@ -865,6 +909,8 @@ func (e *Engine) scheduleReconcile() {
 // assignment. All iteration orders are sorted, so the sweep is
 // deterministic.
 func (e *Engine) reconcile() {
+	sp := e.rec.Begin(e.cl.Eng.Now(), -1, "engine", "reconcile", "")
+	var swept int
 	for _, id := range e.cl.Medium.IDs() {
 		n := e.cl.Node(id)
 		if n == nil {
@@ -875,7 +921,8 @@ func (e *Engine) reconcile() {
 			org, active := e.activeSvc[svcID]
 			if !active {
 				prov.ReleaseService(svcID)
-				e.stats.Reclaimed++
+				e.reclaimed.Inc()
+				swept++
 				continue
 			}
 			if !org.Quiescent() {
@@ -884,10 +931,14 @@ func (e *Engine) reconcile() {
 			for _, tid := range prov.ReservedTasks(svcID) {
 				if a, ok := org.Assignment(tid); !ok || a.Node != id {
 					prov.DropTask(svcID, tid)
-					e.stats.Reclaimed++
+					e.reclaimed.Inc()
+					swept++
 				}
 			}
 		}
+	}
+	if e.rec.Enabled() {
+		sp.End(e.cl.Eng.Now(), fmt.Sprintf("%d reclaimed", swept))
 	}
 }
 
@@ -901,7 +952,9 @@ func (e *Engine) scheduleAdapt() {
 		var tick func()
 		next := cfg.PressureEvery
 		tick = func() {
+			sp := e.rec.Begin(e.cl.Eng.Now(), -1, "engine", "adapt.pressure", "")
 			e.ad.Tick(e.cl.Eng.Now())
+			sp.End(e.cl.Eng.Now(), "")
 			next += cfg.PressureEvery
 			if next < e.cfg.Horizon {
 				e.cl.Eng.At(next, tick)
@@ -913,7 +966,9 @@ func (e *Engine) scheduleAdapt() {
 		var scan func()
 		next := cfg.Epoch
 		scan = func() {
+			sp := e.rec.Begin(e.cl.Eng.Now(), -1, "engine", "adapt.epoch", "")
 			e.ad.EpochScan(e.cl.Eng.Now())
+			sp.End(e.cl.Eng.Now(), "")
 			next += cfg.Epoch
 			if next < e.cfg.Horizon {
 				e.cl.Eng.At(next, scan)

@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// writeJSONLine marshals v and appends a newline. encoding/json emits
+// struct fields in declaration order, so lines are canonical.
+func writeJSONLine(w io.Writer, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// Buffer retains every event in emission order. Unlike Ring it is
+// unbounded; use it for test assertions and as the Journal's per-scope
+// store.
+type Buffer struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit implements Tracer.
+func (b *Buffer) Emit(e Event) {
+	b.mu.Lock()
+	b.events = append(b.events, e)
+	b.mu.Unlock()
+}
+
+// Events returns a copy of the retained events.
+func (b *Buffer) Events() []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Event(nil), b.events...)
+}
+
+// Len returns the retained count.
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.events)
+}
+
+// WriteJSONL serializes the retained events one JSON object per line.
+func (b *Buffer) WriteJSONL(w io.Writer) error {
+	for _, e := range b.Events() {
+		if err := writeJSONLine(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// JSONLWriter streams each event to w as one JSON line under a mutex.
+// The first write or marshal error is retained and reported by Err;
+// later events are dropped so a full disk cannot panic a run.
+type JSONLWriter struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+}
+
+// NewJSONLWriter wraps w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{w: w}
+}
+
+// Emit implements Tracer.
+func (jw *JSONLWriter) Emit(e Event) {
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	if jw.err != nil {
+		return
+	}
+	jw.err = writeJSONLine(jw.w, e)
+}
+
+// Err returns the first write error, if any.
+func (jw *JSONLWriter) Err() error {
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	return jw.err
+}
+
+// Counts tallies events per kind — the counting sink tests use to
+// assert "N reconcile sweeps fired" without retaining events.
+type Counts struct {
+	mu     sync.Mutex
+	byKind map[string]uint64
+	total  uint64
+}
+
+// NewCounts builds an empty counting sink.
+func NewCounts() *Counts {
+	return &Counts{byKind: make(map[string]uint64)}
+}
+
+// Emit implements Tracer.
+func (c *Counts) Emit(e Event) {
+	c.mu.Lock()
+	c.byKind[e.Kind]++
+	c.total++
+	c.mu.Unlock()
+}
+
+// Get returns the count for kind.
+func (c *Counts) Get(kind string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.byKind[kind]
+}
+
+// Total returns the total event count.
+func (c *Counts) Total() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// FilterSink forwards events satisfying Allow to Next (nil Allow passes
+// everything), composing with any downstream sink.
+type FilterSink struct {
+	Allow func(Event) bool
+	Next  Tracer
+}
+
+// Emit implements Tracer.
+func (f FilterSink) Emit(e Event) {
+	if f.Allow == nil || f.Allow(e) {
+		f.Next.Emit(e)
+	}
+}
+
+// Multi fans each event out to every sink in order.
+type Multi []Tracer
+
+// Emit implements Tracer.
+func (m Multi) Emit(e Event) {
+	for _, t := range m {
+		t.Emit(e)
+	}
+}

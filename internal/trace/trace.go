@@ -12,24 +12,35 @@ import (
 	"sync"
 )
 
-// Event is one protocol transition.
+// Event is one protocol transition. The JSON field order is the
+// canonical wire order of the flight recorder's JSONL output: Go
+// marshals struct fields in declaration order, so every sink that
+// marshals Events (JSONLWriter, Journal) emits byte-identical lines for
+// identical events with no map-ordering hazards.
 type Event struct {
 	// T is the emitting entity's clock, in virtual seconds.
-	T float64
+	T float64 `json:"t"`
 	// Node is the emitting node's ID.
-	Node int
-	// Role is "organizer" or "provider".
-	Role string
+	Node int `json:"node"`
+	// Role is "organizer", "provider", or "engine".
+	Role string `json:"role"`
 	// Kind names the transition ("cfp", "proposal", "award", "ack",
-	// "formed", "failure", "upgrade", "dissolve", ...).
-	Kind string
+	// "formed", "failure", "upgrade", "dissolve", ...). Span events use
+	// "<name>.begin" / "<name>.end".
+	Kind string `json:"kind"`
 	// Detail is a short human-readable elaboration.
-	Detail string
+	Detail string `json:"detail,omitempty"`
+	// Span ties a .begin/.end pair together; empty for point events.
+	Span string `json:"span,omitempty"`
 }
 
 // String renders the event as one timeline line.
 func (e Event) String() string {
-	return fmt.Sprintf("%8.3fs node %2d %-9s %-10s %s", e.T, e.Node, e.Role, e.Kind, e.Detail)
+	s := fmt.Sprintf("%8.3fs node %2d %-9s %-10s %s", e.T, e.Node, e.Role, e.Kind, e.Detail)
+	if e.Span != "" {
+		s += " [" + e.Span + "]"
+	}
+	return s
 }
 
 // Tracer receives events. Implementations must be safe for concurrent

@@ -70,6 +70,7 @@ func E17OfferedLoad(cfg Config) (*metrics.Table, error) {
 			Warmup:     warmup,
 			Organizer:  core.DefaultOrganizerConfig,
 			SlowPath:   cfg.SlowPath,
+			Trace:      rep.Trace,
 		})
 		if err != nil {
 			return nil, err

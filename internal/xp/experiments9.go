@@ -5,6 +5,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/session"
 	"repro/internal/workload"
@@ -24,8 +25,10 @@ import (
 // counters its tables report.
 type chaosOutcome struct {
 	Stats *session.Stats
-	// Retx and Dups sum the nodes' reliability-layer counters:
-	// retransmissions issued and duplicate deliveries suppressed.
+	// Retx and Dups are the cluster-wide reliability-layer totals —
+	// retransmissions issued and duplicate deliveries suppressed — read
+	// from the run's unified counter snapshot (Stats.Counters), which
+	// replaced the old loop summing per-node accessors by hand.
 	Retx, Dups uint64
 	// Faults is what the injector actually did (zero without a plan).
 	Faults faults.Stats
@@ -59,11 +62,10 @@ func chaosRun(seed int64, nodes int, retry proto.RetryConfig, plan *faults.Plan,
 	if err != nil {
 		return nil, err
 	}
-	out := &chaosOutcome{Stats: st}
-	for _, id := range sc.Cluster.Nodes() {
-		n := sc.Cluster.Node(id)
-		out.Retx += n.Retransmissions()
-		out.Dups += n.Duplicates()
+	out := &chaosOutcome{
+		Stats: st,
+		Retx:  st.Counters.Get(obs.Retransmissions),
+		Dups:  st.Counters.Get(obs.Duplicates),
 	}
 	if inj != nil {
 		out.Faults = inj.Stats
@@ -121,7 +123,9 @@ func E25LossRetry(cfg Config) (*metrics.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		retry, err := chaosRun(rep.Seed, 16, proto.DefaultRetryConfig, plan, mk())
+		traced := mk()
+		traced.Trace = rep.Trace
+		retry, err := chaosRun(rep.Seed, 16, proto.DefaultRetryConfig, plan, traced)
 		if err != nil {
 			return nil, err
 		}
@@ -171,8 +175,9 @@ func E26BurstLoss(cfg Config) (*metrics.Table, error) {
 	reps := repeats(cfg)
 	acc, err := sweep(cfg, reps, shapes, func(shape string, rep Rep) ([]float64, error) {
 		tmpl := workload.SessionTemplate{Name: "e26", Tasks: 3, Scale: 1.0}
-		out, err := chaosRun(rep.Seed, 16, proto.DefaultRetryConfig, plans[shape],
-			chaosFormationConfig(cfg.SlowPath, cfg.Quick, tmpl))
+		scfg := chaosFormationConfig(cfg.SlowPath, cfg.Quick, tmpl)
+		scfg.Trace = rep.Trace
+		out, err := chaosRun(rep.Seed, 16, proto.DefaultRetryConfig, plans[shape], scfg)
 		if err != nil {
 			return nil, err
 		}
@@ -227,7 +232,7 @@ func E27PartitionHeal(cfg Config) (*metrics.Table, error) {
 		return []float64{
 			st.AdmissionRatio(), st.DistanceAvg,
 			st.ReconfigPerHour(horizon),
-			float64(st.MemberFailures), float64(st.Reclaimed),
+			float64(st.MemberFailures), float64(st.Reclaimed()),
 		}, nil
 	})
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/par"
+	"repro/internal/trace"
 )
 
 // nan marks "no observation" in a replication's metric vector; the
@@ -41,6 +42,12 @@ type Rep struct {
 	// Rng is seeded with Seed and owned exclusively by this
 	// replication; bodies may consume it freely.
 	Rng *rand.Rand
+	// Trace is this replication's private flight recorder, non-nil only
+	// when Config.Trace is set. It writes into a journal scope keyed by
+	// the replication's fixed (point, rep) slot, so the assembled JSONL
+	// is byte-identical at any parallelism — the trace twin of the
+	// Accumulator's slot indexing.
+	Trace *trace.Recorder
 }
 
 // sweep is the shared declaration of every experiment's measurement
@@ -57,7 +64,11 @@ func sweep[P any](cfg Config, reps int, points []P, body func(p P, rep Rep) ([]f
 	err := Runner{Workers: cfg.Parallel}.Do(n, func(i int) error {
 		pi, ri := i/reps, i%reps
 		seed := cfg.Seed + int64(ri)
-		vec, err := body(points[pi], Rep{Index: ri, Seed: seed, Rng: newRng(seed)})
+		rep := Rep{Index: ri, Seed: seed, Rng: newRng(seed)}
+		if cfg.Trace != nil {
+			rep.Trace = trace.NewRecorder(cfg.Trace.Scope(trace.ScopeName(cfg.TraceGroup, i)))
+		}
+		vec, err := body(points[pi], rep)
 		if err != nil {
 			return err
 		}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/radio"
 	"repro/internal/resource"
 	"repro/internal/task"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -40,6 +41,15 @@ type Config struct {
 	// Tables are bit-identical either way — scripts/determinism.sh diffs
 	// the two as the equivalence gate.
 	SlowPath bool
+	// Trace, when set, collects every replication's flight-recorder
+	// events into the journal, one scope per (sweep point, replication)
+	// job so serialization order is independent of Parallel. Experiments
+	// that support tracing pass Rep.Trace into their session.Config; the
+	// rest leave the journal empty. nil (the default) disables tracing.
+	Trace *trace.Journal
+	// TraceGroup prefixes the journal scope names of this run (e.g. the
+	// experiment ID), keeping multiple traced runs apart in one journal.
+	TraceGroup string
 }
 
 // DefaultConfig is used by cmd/qosbench.

@@ -2,11 +2,14 @@
 # bench.sh — snapshot the hot-path micro-benchmarks and the sweep
 # benchmarks into a JSON document for the perf trajectory.
 #
-# Usage: scripts/bench.sh [OUT.json] [BENCHTIME]
+# Usage: scripts/bench.sh [OUT.json] [BENCHTIME] [STORE.jsonl]
 #
-#   OUT.json   output path (default BENCH.json)
-#   BENCHTIME  go test -benchtime value (default 1s; use 1x for a smoke
-#              run, which is what CI does)
+#   OUT.json     output path (default BENCH.json)
+#   BENCHTIME    go test -benchtime value (default 1s; use 1x for a smoke
+#                run, which is what CI does)
+#   STORE.jsonl  optional results store (cmd/qostrend): when given, the
+#                snapshot is also appended to it via qostrend -import,
+#                extending the recorded trajectory
 #
 # BENCH_PR2.json in the repo root is the first committed point of this
 # trajectory: the same benchmarks captured immediately before and after
@@ -16,12 +19,16 @@
 # BENCH_PR5.json is the fourth, adding the E22 adaptation-under-churn
 # sweep. BENCH_PR6.json is the fifth, capturing the pooled session
 # engine: the E17 allocation drop and the new sessions-per-second
-# weak-scaling benchmark.
+# weak-scaling benchmark. BENCH_PR8.json is the sixth, adding the sweep
+# runner's weak-scaling benchmark and the nil-sink flight-recorder
+# overhead benchmark; since PR 8 every snapshot can also land in the
+# append-only results store (RESULTS.jsonl) that cmd/qostrend renders.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH.json}"
 benchtime="${2:-1s}"
+store="${3:-}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -35,9 +42,10 @@ run_bench() { # pkg, pattern
 # weak-scaling benchmark at 1 and 8 shards), and the E22 mid-session
 # adaptation sweep, and the sessions-per-second weak-scaling benchmark
 # (the pooled engine's throughput headline, at 1 and 8 workers).
-run_bench . 'BenchmarkFormulate$|BenchmarkFormulateOneShot$|BenchmarkFormulateExhaustive$|BenchmarkDistanceEval$|BenchmarkE1AcceptanceVsNodes$|BenchmarkE5HeuristicVsOptimal$|BenchmarkE16OptimalScaling$|BenchmarkE17OfferedLoad$|BenchmarkE20ShardScaling$|BenchmarkE22AdaptChurn$|BenchmarkCityFabric/shards=1$|BenchmarkCityFabric/shards=8$|BenchmarkSessionsPerSecond/workers=1$|BenchmarkSessionsPerSecond/workers=8$'
+run_bench . 'BenchmarkFormulate$|BenchmarkFormulateOneShot$|BenchmarkFormulateExhaustive$|BenchmarkDistanceEval$|BenchmarkE1AcceptanceVsNodes$|BenchmarkE5HeuristicVsOptimal$|BenchmarkE16OptimalScaling$|BenchmarkE17OfferedLoad$|BenchmarkE20ShardScaling$|BenchmarkE22AdaptChurn$|BenchmarkCityFabric/shards=1$|BenchmarkCityFabric/shards=8$|BenchmarkSessionsPerSecond/workers=1$|BenchmarkSessionsPerSecond/workers=8$|BenchmarkSweepParallel/workers=1$|BenchmarkSweepParallel/workers=8$'
 run_bench ./internal/qos 'BenchmarkDistance$|BenchmarkDistanceCompiled$|BenchmarkReward$|BenchmarkRewardCompiled$|BenchmarkBuildLadder$'
 run_bench ./internal/baseline 'BenchmarkOptimal$|BenchmarkOptimalExhaustive$|BenchmarkOptimalLarge$'
+run_bench ./internal/trace 'BenchmarkRecorderNil$|BenchmarkRecorderBufferPoint$'
 
 awk -v commit="$(git describe --always --dirty 2>/dev/null || echo unknown)" \
     -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
@@ -63,3 +71,7 @@ END { printf "\n  }\n}\n" }
 ' "$tmp" > "$out"
 
 echo "wrote $out" >&2
+
+if [ -n "$store" ]; then
+  go run ./cmd/qostrend -store "$store" -import "$out"
+fi

@@ -20,10 +20,16 @@
 #   scripts/benchgate.sh            compare against the committed baseline
 #   scripts/benchgate.sh --update   rewrite the baseline from this machine
 #
+# When a results store (RESULTS.jsonl, see cmd/qostrend) is present and
+# STORE_BASELINE=1, the baseline side is rendered from the store's
+# newest recorded commit via `qostrend -baseline` instead of the
+# committed text file — the gate then tracks the recorded trajectory.
+#
 # Environment:
-#   BENCHTIME   go test -benchtime per run     (default 0.3s)
-#   COUNT       repetitions per benchmark      (default 5)
-#   THRESHOLD   allowed regression in percent  (default 40)
+#   BENCHTIME       go test -benchtime per run     (default 0.3s)
+#   COUNT           repetitions per benchmark      (default 5)
+#   THRESHOLD       allowed regression in percent  (default 40)
+#   STORE_BASELINE  1 = derive baseline from RESULTS.jsonl via qostrend
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -45,13 +51,25 @@ if [ "${1:-}" = "--update" ]; then
   exit 0
 fi
 
+store_baseline=""
+if [ "${STORE_BASELINE:-0}" = "1" ] && [ -f "RESULTS.jsonl" ]; then
+  baseline="$(mktemp)"
+  store_baseline="$baseline"
+  # Keep only the gate's benchmark set: the store records the whole
+  # bench.sh suite, and a baseline-only benchmark would fail the gate
+  # as "missing from current run".
+  go run ./cmd/qostrend -store RESULTS.jsonl -baseline \
+    | grep -E '^(BenchmarkFormulate|BenchmarkDistanceEval|BenchmarkOptimal|BenchmarkSweepParallel/workers=1|BenchmarkCityFabric/shards=8|BenchmarkSessionsPerSecond/workers=1) ' > "$baseline"
+  echo "benchgate: baseline rendered from RESULTS.jsonl via qostrend" >&2
+fi
+
 if [ ! -f "$baseline" ]; then
   echo "benchgate: missing baseline $baseline (generate with scripts/benchgate.sh --update)" >&2
   exit 1
 fi
 
 current="$(mktemp)"
-trap 'rm -f "$current"' EXIT
+trap 'rm -f "$current" "$store_baseline"' EXIT
 run_gate_benchmarks | tee "$current" >&2
 
 if command -v benchstat >/dev/null 2>&1; then

@@ -26,6 +26,12 @@
 # an experiment body drawing randomness outside its replication's rng —
 # or, on the fast-vs-slowpath diff, a pooled object leaking state
 # between sessions.
+#
+# Since PR 8 each invocation also records the flight-recorder trace
+# (-trace-out) and the same three-way diff applies to the JSONL traces:
+# a trace that differs across pool widths means a journal scope leaked
+# between replications; one that differs across session loops means an
+# emission site sits on a path only one implementation takes.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -43,19 +49,34 @@ for e in "${exps[@]}"; do
   p1="$(dirname "$bin")/$e.p1.txt"
   p8="$(dirname "$bin")/$e.p8.txt"
   ref="$(dirname "$bin")/$e.slow.txt"
-  "$bin" -run "$e" -quick -parallel 1 | grep -v elapsed > "$p1"
-  "$bin" -run "$e" -quick -parallel 8 | grep -v elapsed > "$p8"
+  t1="$(dirname "$bin")/$e.p1.jsonl"
+  t8="$(dirname "$bin")/$e.p8.jsonl"
+  tref="$(dirname "$bin")/$e.slow.jsonl"
+  "$bin" -run "$e" -quick -parallel 1 -trace-out "$t1" | grep -v elapsed > "$p1"
+  "$bin" -run "$e" -quick -parallel 8 -trace-out "$t8" | grep -v elapsed > "$p8"
   if diff -u "$p1" "$p8"; then
     echo "determinism: $e OK (parallel 1 == parallel 8)"
   else
     echo "determinism: $e FAILED — table depends on worker-pool width" >&2
     status=1
   fi
-  "$bin" -run "$e" -quick -parallel 8 -slowpath | grep -v elapsed > "$ref"
+  "$bin" -run "$e" -quick -parallel 8 -slowpath -trace-out "$tref" | grep -v elapsed > "$ref"
   if diff -u "$ref" "$p8"; then
     echo "determinism: $e OK (fast path == slowpath reference)"
   else
     echo "determinism: $e FAILED — pooled fast path diverges from the reference loop" >&2
+    status=1
+  fi
+  if cmp -s "$t1" "$t8"; then
+    echo "determinism: $e OK (trace parallel 1 == parallel 8, $(wc -l < "$t1") events)"
+  else
+    echo "determinism: $e FAILED — flight-recorder trace depends on worker-pool width" >&2
+    status=1
+  fi
+  if cmp -s "$tref" "$t8"; then
+    echo "determinism: $e OK (trace fast path == slowpath reference)"
+  else
+    echo "determinism: $e FAILED — trace emission differs between session loops" >&2
     status=1
   fi
 done
