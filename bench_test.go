@@ -69,6 +69,7 @@ func BenchmarkE24CityAdaptation(b *testing.B)     { benchExperiment(b, xp.E24Cit
 func BenchmarkE25LossRetry(b *testing.B)          { benchExperiment(b, xp.E25LossRetry) }
 func BenchmarkE26BurstLoss(b *testing.B)          { benchExperiment(b, xp.E26BurstLoss) }
 func BenchmarkE27PartitionHeal(b *testing.B)      { benchExperiment(b, xp.E27PartitionHeal) }
+func BenchmarkE28InteropTCP(b *testing.B)         { benchExperiment(b, xp.E28InteropTCP) }
 
 // BenchmarkSweepParallel runs one full-size replication-heavy
 // experiment at increasing worker-pool widths. Throughput should scale

@@ -28,6 +28,19 @@
 // internal/faults) with the protocol's reliability layer on, and
 // reports what the adversary did and what the hardening recovered.
 //
+// With -connect, qosim becomes the organizer of a networked fabric: it
+// joins a fleet of qosnoded daemons over TCP as node 0 of the interop
+// topology, negotiates the service with the remote providers (its own
+// in-process provider participates too), prints the allocation, and —
+// unless -compare=false — replays the identical scenario on the
+// discrete-event simulator and reports interop: MATCH or MISMATCH:
+//
+//	qosim -connect "1=127.0.0.1:7001,2=127.0.0.1:7002,..." [-tasks N]
+//	      [-scale F] [-seed N] [-timescale F] [-compare=true]
+//
+// Daemon ids must be contiguous from 1; daemons must have been started
+// with -nodes equal to the number of daemons plus one.
+//
 // Observability flags (both modes unless noted):
 //
 //	-trace-out FILE   write the structured flight-recorder trace as
@@ -48,6 +61,8 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/adapt"
@@ -55,6 +70,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/metrics"
+	qosnet "repro/internal/net"
 	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/qos"
@@ -78,6 +94,10 @@ type options struct {
 	fail      int
 	verbose   bool
 	showTrace bool
+
+	connect   string
+	compare   bool
+	timeScale float64
 
 	open     bool
 	rate     float64
@@ -109,6 +129,9 @@ func parseFlags(args []string, errw io.Writer) (*options, error) {
 	fs.IntVar(&o.fail, "fail", 0, "one-shot mode: kill N coalition members at t=5s")
 	fs.BoolVar(&o.verbose, "verbose", false, "one-shot mode: print per-node detail")
 	fs.BoolVar(&o.showTrace, "trace", false, "one-shot mode: print the protocol event timeline")
+	fs.StringVar(&o.connect, "connect", "", `networked mode: comma-separated "id=host:port" qosnoded peers`)
+	fs.BoolVar(&o.compare, "compare", true, "networked mode: replay the scenario on the simulator and report MATCH/MISMATCH")
+	fs.Float64Var(&o.timeScale, "timescale", 0.02, "networked mode: wall-clock seconds per virtual protocol second")
 	fs.BoolVar(&o.open, "open", false, "run the open-system session lifecycle instead of one formation")
 	fs.Float64Var(&o.rate, "rate", 0.1, "open mode: session arrivals per second")
 	fs.Float64Var(&o.hold, "hold", 40, "open mode: mean session holding time (s)")
@@ -315,10 +338,127 @@ func run(o *options, out io.Writer) (err error) {
 			}
 		}()
 	}
+	if o.connect != "" {
+		return runNetworked(o, out)
+	}
 	if o.open {
 		return runOpen(o, out)
 	}
 	return runOneShot(o, out)
+}
+
+// parsePeers parses the -connect list into contiguous daemon addresses
+// keyed by node id (1..len).
+func parsePeers(spec string) (map[radio.NodeID]string, error) {
+	peers := make(map[radio.NodeID]string)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("qosim: bad -connect entry %q (want id=host:port)", part)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(id))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("qosim: bad node id in -connect entry %q", part)
+		}
+		if _, dup := peers[radio.NodeID(n)]; dup {
+			return nil, fmt.Errorf("qosim: duplicate node id %d in -connect", n)
+		}
+		peers[radio.NodeID(n)] = strings.TrimSpace(addr)
+	}
+	if len(peers) == 0 {
+		return nil, errors.New("qosim: -connect lists no peers")
+	}
+	for i := 1; i <= len(peers); i++ {
+		if _, ok := peers[radio.NodeID(i)]; !ok {
+			return nil, fmt.Errorf("qosim: -connect ids must be contiguous from 1 (missing %d)", i)
+		}
+	}
+	return peers, nil
+}
+
+// runNetworked joins a qosnoded fleet as organizer node 0, negotiates
+// over TCP, and optionally verifies the allocation against the
+// simulator's run of the identical scenario.
+func runNetworked(o *options, out io.Writer) error {
+	peers, err := parsePeers(o.connect)
+	if err != nil {
+		return err
+	}
+	total := len(peers) + 1
+	n := qosnet.NewNode(qosnet.NodeConfig{
+		Endpoint: qosnet.InteropEndpointConfig(0, total, "", o.timeScale),
+		Provider: core.DefaultProviderConfig,
+		Retry:    proto.DefaultRetryConfig,
+	})
+	if err := n.Start(); err != nil {
+		return err
+	}
+	defer n.Close()
+	for i := 1; i < total; i++ {
+		id := radio.NodeID(i)
+		if err := n.Endpoint.Dial(id, peers[id]); err != nil {
+			return fmt.Errorf("qosim: joining fabric: %w", err)
+		}
+	}
+	fmt.Fprintf(out, "fabric: %d remote daemon(s) + in-process node 0\n", len(peers))
+
+	svc := qosnet.InteropService(o.tasks, o.scale)
+	ch := make(chan *core.Result, 4)
+	org, err := n.Submit(svc, core.DefaultOrganizerConfig, func(r *core.Result) {
+		select {
+		case ch <- r:
+		default:
+		}
+	})
+	if err != nil {
+		return err
+	}
+	var res *core.Result
+	select {
+	case res = <-ch:
+	case <-time.After(60 * time.Second):
+		return errors.New("qosim: networked formation timed out")
+	}
+	fmt.Fprintf(out, "formation: %d/%d tasks in %d round(s), %d proposals\n",
+		len(res.Assigned), len(svc.Tasks), res.Rounds, res.ProposalsReceived)
+	ids := make([]string, 0, len(res.Assigned))
+	for tid := range res.Assigned {
+		ids = append(ids, tid)
+	}
+	sort.Strings(ids)
+	for _, tid := range ids {
+		a := res.Assigned[tid]
+		where := "remote daemon"
+		if a.Node == 0 {
+			where = "in-process"
+		}
+		fmt.Fprintf(out, "  %-8s -> node %2d (%s) distance %.4f\n", tid, a.Node, where, a.Distance)
+	}
+	for _, t := range svc.Tasks {
+		if _, ok := res.Assigned[t.ID]; !ok {
+			fmt.Fprintf(out, "  %-8s UNSERVED\n", t.ID)
+		}
+	}
+	org.Dissolve("qosim done")
+	time.Sleep(500 * time.Millisecond) // let the dissolve reach the daemons
+
+	if o.compare {
+		simRes, err := qosnet.InteropSim(o.seed, total, o.tasks, o.scale)
+		if err != nil {
+			return err
+		}
+		if qosnet.SameAssignment(simRes, res) {
+			fmt.Fprintln(out, "interop: MATCH (simulator and TCP fabric agree)")
+		} else {
+			fmt.Fprintf(out, "interop: MISMATCH\n  sim: %v\n  tcp: %v\n", simRes.Assigned, res.Assigned)
+			return errors.New("qosim: runtimes disagree")
+		}
+	}
+	return nil
 }
 
 // writeMemProfile snapshots the heap (after a GC, so live objects

@@ -5,13 +5,19 @@ import (
 	"encoding/json"
 	"errors"
 	"flag"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/metrics"
+	qosnet "repro/internal/net"
+	"repro/internal/proto"
+	"repro/internal/radio"
 )
 
 func TestParseFlagsDefaults(t *testing.T) {
@@ -242,4 +248,70 @@ func TestRunOneShotTraceOut(t *testing.T) {
 	if !strings.Contains(string(raw), `"kind":"cfp"`) {
 		t.Errorf("one-shot trace misses the protocol handshake:\n%s", raw)
 	}
+}
+
+func TestParsePeers(t *testing.T) {
+	peers, err := parsePeers("1=127.0.0.1:7001, 2=127.0.0.1:7002")
+	if err != nil || len(peers) != 2 || peers[1] != "127.0.0.1:7001" {
+		t.Fatalf("peers = %v, err %v", peers, err)
+	}
+	for _, bad := range []string{"", "nonsense", "0=127.0.0.1:1", "1=a,1=b", "2=127.0.0.1:1"} {
+		if _, err := parsePeers(bad); err == nil {
+			t.Errorf("parsePeers(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRunNetworked drives the TCP client mode against two in-process
+// daemon nodes and requires the simulator comparison to report MATCH.
+func TestRunNetworked(t *testing.T) {
+	const total = 3
+	var daemons []*qosnet.Node
+	defer func() {
+		for _, d := range daemons {
+			d.Close()
+		}
+	}()
+	spec := make([]string, 0, total-1)
+	for i := 1; i < total; i++ {
+		d := qosnet.NewNode(qosnet.NodeConfig{
+			Endpoint: qosnet.InteropEndpointConfig(radio.NodeID(i), total, "127.0.0.1:0", 0.02),
+			Provider: core.DefaultProviderConfig,
+			Retry:    proto.DefaultRetryConfig,
+		})
+		if err := d.Start(); err != nil {
+			t.Fatal(err)
+		}
+		daemons = append(daemons, d)
+		spec = append(spec, fmt.Sprintf("%d=%s", i, d.Endpoint.Addr()))
+	}
+	o, err := parseFlags([]string{"-connect", strings.Join(spec, ","), "-tasks", "2", "-scale", "1.0"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(o, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"fabric: 2 remote daemon(s)", "formation: 2/2", "interop: MATCH"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	// The dissolve must have drained the daemons' ledgers.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		clean := true
+		for _, d := range daemons {
+			if d.Res.Available() != d.Res.Capacity() {
+				clean = false
+			}
+		}
+		if clean {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Error("daemon ledgers not drained after dissolve")
 }

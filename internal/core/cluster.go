@@ -39,8 +39,9 @@ type Node struct {
 
 	tr         proto.Transport
 	organizers map[string]*Organizer
-	reliable   *proto.Reliable // non-nil when the cluster retries
-	dedup      proto.Dedup     // receiver-side duplicate filter
+	orgSink    func(svc string) proto.Sink // persistent lookup for proto.Dispatch
+	reliable   *proto.Reliable             // non-nil when the cluster retries
+	dedup      proto.Dedup                 // receiver-side duplicate filter
 }
 
 // Retransmissions reports the retry sends this node's reliability layer
@@ -144,7 +145,10 @@ func runSelfSend(x any) {
 	c.dispatch(at, at, m)
 }
 
-func (t simTransport) Send(to radio.NodeID, m proto.Msg) {
+// Send implements proto.Transport. Modeled radio loss is not a send
+// error (see the Transport contract), so the sim transport always
+// returns nil.
+func (t simTransport) Send(to radio.NodeID, m proto.Msg) error {
 	if to == t.id {
 		c := t.c
 		var s *selfSend
@@ -156,13 +160,15 @@ func (t simTransport) Send(to radio.NodeID, m proto.Msg) {
 		}
 		s.at, s.m = to, m
 		c.Eng.AfterArg(0, runSelfSend, s)
-		return
+		return nil
 	}
 	t.c.Medium.Send(t.id, to, m, m.WireSize())
+	return nil
 }
 
-func (t simTransport) Broadcast(m proto.Msg) {
+func (t simTransport) Broadcast(m proto.Msg) error {
 	t.c.Medium.SendBroadcast(t.id, m, m.WireSize())
+	return nil
 }
 
 func (t simTransport) CommCost(to radio.NodeID, size int64) float64 {
@@ -181,6 +187,12 @@ func (c *Cluster) AddNode(spec NodeSpec) (*Node, error) {
 		ID:         spec.ID,
 		Profile:    spec.Profile,
 		organizers: make(map[string]*Organizer),
+	}
+	n.orgSink = func(svc string) proto.Sink {
+		if o := n.organizers[svc]; o != nil {
+			return o
+		}
+		return nil // explicit nil interface, not a typed-nil *Organizer
 	}
 	var battery *resource.Battery
 	if spec.BatteryDrain > 0 {
@@ -244,38 +256,15 @@ func (c *Cluster) runBattery(id radio.NodeID, bat *resource.Battery) {
 	c.Eng.After(tick, loop)
 }
 
-// dispatch routes a delivered message to the node's provider or to the
+// dispatch routes a delivered message through the shared receive
+// plumbing (proto.Dispatch): unwrap, dedup, then provider or the
 // organizer owning the service, mirroring the paper's role split.
 func (c *Cluster) dispatch(at, from radio.NodeID, m proto.Msg) {
 	n, ok := c.nodes[at]
 	if !ok {
 		return
 	}
-	// Idempotence half of the reliability layer: peel the sequence
-	// envelope and drop retransmitted or fault-duplicated deliveries
-	// before any handler mutates state. Unsequenced messages (seq 0)
-	// pass untouched, so the default configuration takes this path with
-	// zero behavioral change.
-	m, seq := proto.Unwrap(m)
-	if n.dedup.Duplicate(from, seq) {
-		return
-	}
-	switch msg := m.(type) {
-	case *proto.Proposal:
-		if o := n.organizers[msg.ServiceID]; o != nil {
-			o.OnMsg(from, m)
-		}
-	case *proto.AwardAck:
-		if o := n.organizers[msg.ServiceID]; o != nil {
-			o.OnMsg(from, m)
-		}
-	case *proto.Heartbeat:
-		if o := n.organizers[msg.ServiceID]; o != nil {
-			o.OnMsg(from, m)
-		}
-	default:
-		n.Provider.OnMsg(from, m)
-	}
+	proto.Dispatch(&n.dedup, from, m, n.orgSink, n.Provider)
 }
 
 // Node returns a node by ID, or nil.

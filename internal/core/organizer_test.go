@@ -25,10 +25,14 @@ type sentMsg struct {
 }
 
 func (r *recTransport) Self() radio.NodeID { return r.self }
-func (r *recTransport) Send(to radio.NodeID, m proto.Msg) {
+func (r *recTransport) Send(to radio.NodeID, m proto.Msg) error {
 	r.sent = append(r.sent, sentMsg{to: to, m: m})
+	return nil
 }
-func (r *recTransport) Broadcast(m proto.Msg) { r.broadcasts = append(r.broadcasts, m) }
+func (r *recTransport) Broadcast(m proto.Msg) error {
+	r.broadcasts = append(r.broadcasts, m)
+	return nil
+}
 func (r *recTransport) CommCost(to radio.NodeID, _ int64) float64 {
 	if c, ok := r.comm[to]; ok {
 		return c

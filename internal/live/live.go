@@ -18,6 +18,7 @@ import (
 	"repro/internal/radio"
 	"repro/internal/resource"
 	"repro/internal/task"
+	"repro/internal/trace"
 )
 
 // envelope is one in-flight message.
@@ -42,6 +43,10 @@ type Config struct {
 	// blindly retransmitted on the bounded backoff schedule, and each
 	// node's dispatcher deduplicates by (sender, seq) before handling.
 	Retry proto.RetryConfig
+	// Trace receives runtime events (today: inbox overflows), so daemon
+	// backpressure shows up on the PR-8 flight recorder alongside the
+	// protocol timeline. Nil discards.
+	Trace trace.Tracer
 }
 
 // Runtime hosts the goroutine nodes.
@@ -83,8 +88,9 @@ type Node struct {
 	done       chan struct{}
 	orgMu      sync.Mutex
 	organizers map[string]*core.Organizer
-	reliable   *proto.Reliable // non-nil when cfg.Retry is enabled
-	dedup      proto.Dedup     // touched only by the node's loop goroutine
+	orgSink    func(svc string) proto.Sink // persistent lookup for proto.Dispatch
+	reliable   *proto.Reliable             // non-nil when cfg.Retry is enabled
+	dedup      proto.Dedup                 // touched only by the node's loop goroutine
 }
 
 // transport returns the node's outbound transport: the shared reliability
@@ -107,6 +113,9 @@ func NewRuntime(cfg Config) *Runtime {
 	}
 	if cfg.InboxDepth <= 0 {
 		cfg.InboxDepth = 256
+	}
+	if cfg.Trace == nil {
+		cfg.Trace = trace.Nop{}
 	}
 	rt := &Runtime{
 		cfg:     cfg,
@@ -150,11 +159,15 @@ type liveTransport struct {
 
 func (t liveTransport) Self() radio.NodeID { return t.id }
 
-func (t liveTransport) Send(to radio.NodeID, m proto.Msg) {
+// Send implements proto.Transport. In-process channels cannot fail the
+// way a socket can; modeled loss (range, membership, overflow) is not a
+// send error, so the live transport always returns nil.
+func (t liveTransport) Send(to radio.NodeID, m proto.Msg) error {
 	t.rt.send(t.id, to, m)
+	return nil
 }
 
-func (t liveTransport) Broadcast(m proto.Msg) {
+func (t liveTransport) Broadcast(m proto.Msg) error {
 	t.rt.mu.RLock()
 	src, ok := t.rt.nodes[t.id]
 	var dests []*Node
@@ -169,6 +182,7 @@ func (t liveTransport) Broadcast(m proto.Msg) {
 	for _, n := range dests {
 		t.rt.send(t.id, n.ID, m)
 	}
+	return nil
 }
 
 func (t liveTransport) CommCost(to radio.NodeID, size int64) float64 {
@@ -217,6 +231,13 @@ func (rt *Runtime) send(from, to radio.NodeID, m proto.Msg) {
 		default:
 			rt.Dropped.Add(1)
 			rt.Overflows.Add(1)
+			rt.cfg.Trace.Emit(trace.Event{
+				T:      liveTimers{rt}.Now(),
+				Node:   int(to),
+				Role:   "engine",
+				Kind:   "inbox-overflow",
+				Detail: fmt.Sprintf("dropped %s from node %d (inbox full)", m.Kind(), from),
+			})
 		}
 	}
 	if latency <= 0 {
@@ -241,6 +262,12 @@ func (rt *Runtime) AddNode(id radio.NodeID, pos radio.Pos, rangeM, bitrate float
 		quit:       make(chan struct{}),
 		done:       make(chan struct{}),
 		organizers: make(map[string]*core.Organizer),
+	}
+	n.orgSink = func(svc string) proto.Sink {
+		if o := n.organizer(svc); o != nil {
+			return o
+		}
+		return nil // explicit nil interface, not a typed-nil *core.Organizer
 	}
 	if rt.cfg.Retry.Enabled() {
 		n.reliable = proto.NewReliable(liveTransport{rt: rt, id: id}, liveTimers{rt}, rt.cfg.Retry)
@@ -269,26 +296,7 @@ func (n *Node) loop() {
 }
 
 func (n *Node) dispatch(from radio.NodeID, m proto.Msg) {
-	m, seq := proto.Unwrap(m)
-	if n.dedup.Duplicate(from, seq) {
-		return
-	}
-	switch msg := m.(type) {
-	case *proto.Proposal:
-		if o := n.organizer(msg.ServiceID); o != nil {
-			o.OnMsg(from, m)
-		}
-	case *proto.AwardAck:
-		if o := n.organizer(msg.ServiceID); o != nil {
-			o.OnMsg(from, m)
-		}
-	case *proto.Heartbeat:
-		if o := n.organizer(msg.ServiceID); o != nil {
-			o.OnMsg(from, m)
-		}
-	default:
-		n.Provider.OnMsg(from, m)
-	}
+	proto.Dispatch(&n.dedup, from, m, n.orgSink, n.Provider)
 }
 
 func (n *Node) organizer(svc string) *core.Organizer {

@@ -1,0 +1,590 @@
+// Package net runs the coalition formation protocol over real TCP
+// sockets: the third runtime after the discrete-event simulator
+// (internal/core over internal/radio) and the in-process goroutine
+// runtime (internal/live). Every node is an OS process hosting an
+// Endpoint — a listener, a pool of framed connections, and a peer
+// directory learned from Hello handshakes — and the exact protocol
+// state machines of internal/core run on top through the shared
+// proto.Transport/proto.Timers contract. Frames are proto.Codec
+// encodings; reachability and communication cost evaluate through
+// radio.Link with the same arithmetic as the simulated medium, so a
+// TCP-loopback negotiation selects the same coalition as the sim run
+// of the same scenario (experiment E28).
+package net
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	gonet "net"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/proto"
+	"repro/internal/radio"
+	"repro/internal/resource"
+	"repro/internal/trace"
+)
+
+// Config tunes an Endpoint.
+type Config struct {
+	// Self is this node's protocol identity.
+	Self radio.NodeID
+	// ListenAddr is the TCP address to accept peers on ("127.0.0.1:0"
+	// for an ephemeral loopback port). Empty disables listening: a
+	// dial-only endpoint, which is how a pure client joins the fabric.
+	ListenAddr string
+	// Link is this node's radio link description (position, range,
+	// bitrate); it is what the Hello handshake advertises and what the
+	// communication-cost model evaluates against peer links.
+	Link radio.Link
+	// Capacity is the node's total resource vector, advertised in Hello.
+	Capacity resource.Vector
+	// TimeScale converts the protocol's virtual seconds to wall-clock
+	// for the endpoint's Timers, exactly like the live runtime
+	// (default 0.02).
+	TimeScale float64
+	// PropDelay and ProcDelay parameterize the communication-cost model
+	// (radio.LinkLatency); set them to the sim scenario's radio.Config
+	// values when comparing runtimes.
+	PropDelay, ProcDelay float64
+	// DialTimeout bounds connect plus the Hello handshake (default 2s).
+	DialTimeout time.Duration
+	// WriteTimeout bounds each frame write (default 2s). An expired
+	// deadline is a send error: the connection is dropped and re-dialed
+	// on the next send.
+	WriteTimeout time.Duration
+	// MaxFrame caps frame payloads in both directions (default
+	// proto.DefaultMaxFrame).
+	MaxFrame int
+	// InboxDepth is the decoded-message queue depth; messages arriving
+	// into a full inbox are dropped and counted (default 256).
+	InboxDepth int
+	// Trace receives endpoint events (send errors, inbox overflows,
+	// peer lifecycle). Nil discards.
+	Trace trace.Tracer
+	// Obs, when set, is the registry the endpoint's counters register
+	// into; nil creates a private one.
+	Obs *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.TimeScale <= 0 {
+		c.TimeScale = 0.02
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 2 * time.Second
+	}
+	if c.InboxDepth <= 0 {
+		c.InboxDepth = 256
+	}
+	if c.Trace == nil {
+		c.Trace = trace.Nop{}
+	}
+	if c.Obs == nil {
+		c.Obs = obs.NewRegistry()
+	}
+	return c
+}
+
+// Delivery is one decoded inbound message, as read from Inbox.
+type Delivery struct {
+	From radio.NodeID
+	Msg  proto.Msg
+}
+
+// peer is one pooled connection.
+type peer struct {
+	id   radio.NodeID
+	conn gonet.Conn
+	wmu  sync.Mutex // serializes frame writes
+}
+
+// Endpoint is the TCP implementation of proto.Network: a listener, a
+// connection pool with lazy (re)dialing, read loops decoding frames
+// into one inbox, and a peer directory driven by Hello handshakes.
+type Endpoint struct {
+	cfg   Config
+	codec proto.Codec
+	start time.Time
+
+	mu     sync.Mutex
+	ln     gonet.Listener
+	peers  map[radio.NodeID]*peer
+	addrs  map[radio.NodeID]string
+	links  map[radio.NodeID]radio.Link
+	caps   map[radio.NodeID]resource.Vector
+	closed bool
+	wg     sync.WaitGroup
+
+	inbox chan Delivery
+
+	// Sent counts frames written, Delivered frames decoded and queued,
+	// SendErrors sends that surfaced a socket failure, Overflows
+	// inbound messages dropped on a full inbox. All register into the
+	// configured obs registry under the canonical net.* names.
+	Sent, Delivered, SendErrors, Overflows obs.Counter
+}
+
+// NewEndpoint builds an endpoint; Listen starts accepting.
+func NewEndpoint(cfg Config) *Endpoint {
+	cfg = cfg.withDefaults()
+	e := &Endpoint{
+		cfg:   cfg,
+		codec: proto.Codec{MaxFrame: cfg.MaxFrame},
+		start: time.Now(),
+		peers: make(map[radio.NodeID]*peer),
+		addrs: make(map[radio.NodeID]string),
+		links: make(map[radio.NodeID]radio.Link),
+		caps:  make(map[radio.NodeID]resource.Vector),
+		inbox: make(chan Delivery, cfg.InboxDepth),
+	}
+	e.cfg.Obs.Register(obs.NetSent, &e.Sent)
+	e.cfg.Obs.Register(obs.NetDelivered, &e.Delivered)
+	e.cfg.Obs.Register(obs.NetSendErrors, &e.SendErrors)
+	e.cfg.Obs.Register(obs.NetOverflows, &e.Overflows)
+	return e
+}
+
+// Self implements proto.Transport.
+func (e *Endpoint) Self() radio.NodeID { return e.cfg.Self }
+
+// Obs returns the registry the endpoint's counters live in.
+func (e *Endpoint) Obs() *obs.Registry { return e.cfg.Obs }
+
+// Inbox is the stream of decoded inbound messages; the owning node's
+// loop drains it and feeds proto.Dispatch.
+func (e *Endpoint) Inbox() <-chan Delivery { return e.inbox }
+
+// Timers returns the endpoint's scaled wall-clock timers.
+func (e *Endpoint) Timers() proto.Timers {
+	return clockTimers{start: e.start, scale: e.cfg.TimeScale}
+}
+
+// clockTimers maps virtual protocol seconds onto scaled wall-clock,
+// identically to the live runtime.
+type clockTimers struct {
+	start time.Time
+	scale float64
+}
+
+func (t clockTimers) Now() float64 {
+	return time.Since(t.start).Seconds() / t.scale
+}
+
+func (t clockTimers) After(d float64, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	time.AfterFunc(time.Duration(d*t.scale*float64(time.Second)), fn)
+}
+
+// Listen implements proto.Network: it binds the configured address and
+// starts the accept loop.
+func (e *Endpoint) Listen() error {
+	if e.cfg.ListenAddr == "" {
+		return errors.New("net: endpoint has no listen address")
+	}
+	ln, err := gonet.Listen("tcp", e.cfg.ListenAddr)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		ln.Close()
+		return errors.New("net: endpoint closed")
+	}
+	e.ln = ln
+	e.mu.Unlock()
+	e.wg.Add(1)
+	go e.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Listen), so tests
+// and daemons can bind port 0 and report the real port.
+func (e *Endpoint) Addr() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.ln == nil {
+		return ""
+	}
+	return e.ln.Addr().String()
+}
+
+// Dial implements proto.Network: it registers the peer's address and
+// attempts to connect and handshake. The address stays registered on
+// failure, so a later Send re-dials — which is how a transient dial
+// failure heals through the reliability layer's retransmissions.
+func (e *Endpoint) Dial(to radio.NodeID, addr string) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return errors.New("net: endpoint closed")
+	}
+	e.addrs[to] = addr
+	e.mu.Unlock()
+	_, err := e.connect(to)
+	return err
+}
+
+// connect returns the live connection to a peer, dialing and
+// handshaking if necessary.
+func (e *Endpoint) connect(to radio.NodeID) (*peer, error) {
+	e.mu.Lock()
+	if p, ok := e.peers[to]; ok {
+		e.mu.Unlock()
+		return p, nil
+	}
+	addr, ok := e.addrs[to]
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("net: no address for node %d", to)
+	}
+	conn, err := gonet.DialTimeout("tcp", addr, e.cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("net: dial node %d: %w", to, err)
+	}
+	// Handshake synchronously under the dial deadline: send our Hello,
+	// require theirs. Once this returns, the peer's link is in the
+	// directory, so in-range and cost queries see the node immediately.
+	deadline := time.Now().Add(e.cfg.DialTimeout)
+	conn.SetDeadline(deadline)
+	if err := e.writeFrame(conn, e.hello()); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("net: hello to node %d: %w", to, err)
+	}
+	m, err := e.codec.ReadMsg(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("net: hello from node %d: %w", to, err)
+	}
+	h, ok := m.(*proto.Hello)
+	if !ok {
+		conn.Close()
+		return nil, fmt.Errorf("net: node %d opened with %s, want hello", to, m.Kind())
+	}
+	if h.Node != to {
+		conn.Close()
+		return nil, fmt.Errorf("net: dialed node %d but %d answered", to, h.Node)
+	}
+	conn.SetDeadline(time.Time{})
+	p, err := e.admit(h, conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+// hello builds this endpoint's handshake message.
+func (e *Endpoint) hello() *proto.Hello {
+	return &proto.Hello{
+		Node: e.cfg.Self,
+		X:    e.cfg.Link.Pos.X, Y: e.cfg.Link.Pos.Y,
+		RangeM: e.cfg.Link.RangeM, Bitrate: e.cfg.Link.Bitrate,
+		Capacity: e.cfg.Capacity,
+	}
+}
+
+// admit records a handshaken connection and starts its read loop. An
+// existing connection to the same peer wins: the newcomer is refused so
+// both sides keep exactly one socket per pair.
+func (e *Endpoint) admit(h *proto.Hello, conn gonet.Conn) (*peer, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, errors.New("net: endpoint closed")
+	}
+	if _, dup := e.peers[h.Node]; dup {
+		return nil, fmt.Errorf("net: node %d already connected", h.Node)
+	}
+	p := &peer{id: h.Node, conn: conn}
+	e.peers[h.Node] = p
+	e.links[h.Node] = radio.Link{Pos: radio.Pos{X: h.X, Y: h.Y}, RangeM: h.RangeM, Bitrate: h.Bitrate}
+	e.caps[h.Node] = h.Capacity
+	e.emit("peer-up", fmt.Sprintf("node %d at %s", h.Node, conn.RemoteAddr()))
+	e.wg.Add(1)
+	go e.readLoop(p)
+	return p, nil
+}
+
+// acceptLoop admits inbound peers: read their Hello, answer with ours,
+// then hand the connection to a read loop.
+func (e *Endpoint) acceptLoop(ln gonet.Listener) {
+	defer e.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.wg.Add(1)
+		go func(conn gonet.Conn) {
+			defer e.wg.Done()
+			conn.SetDeadline(time.Now().Add(e.cfg.DialTimeout))
+			m, err := e.codec.ReadMsg(conn)
+			if err != nil {
+				conn.Close()
+				return
+			}
+			h, ok := m.(*proto.Hello)
+			if !ok {
+				conn.Close()
+				return
+			}
+			if err := e.writeFrame(conn, e.hello()); err != nil {
+				conn.Close()
+				return
+			}
+			conn.SetDeadline(time.Time{})
+			if _, err := e.admit(h, conn); err != nil {
+				conn.Close()
+			}
+		}(conn)
+	}
+}
+
+// readLoop decodes frames from one peer until the connection ends.
+func (e *Endpoint) readLoop(p *peer) {
+	defer e.wg.Done()
+	for {
+		m, err := e.codec.ReadMsg(p.conn)
+		if err != nil {
+			e.dropPeer(p, "read: "+err.Error())
+			return
+		}
+		switch v := m.(type) {
+		case *proto.Hello:
+			// Directory refresh on an established connection.
+			e.mu.Lock()
+			e.links[v.Node] = radio.Link{Pos: radio.Pos{X: v.X, Y: v.Y}, RangeM: v.RangeM, Bitrate: v.Bitrate}
+			e.caps[v.Node] = v.Capacity
+			e.mu.Unlock()
+		case *proto.Bye:
+			e.dropPeer(p, "bye: "+v.Reason)
+			return
+		default:
+			select {
+			case e.inbox <- Delivery{From: p.id, Msg: m}:
+				e.Delivered.Add(1)
+			default:
+				e.Overflows.Add(1)
+				e.emit("inbox-overflow", fmt.Sprintf("dropped %s from node %d (inbox full)", m.Kind(), p.id))
+			}
+		}
+	}
+}
+
+// dropPeer closes and forgets one connection; the address survives, so
+// the next send re-dials.
+func (e *Endpoint) dropPeer(p *peer, why string) {
+	p.conn.Close()
+	e.mu.Lock()
+	if cur, ok := e.peers[p.id]; ok && cur == p {
+		delete(e.peers, p.id)
+	}
+	closed := e.closed
+	e.mu.Unlock()
+	if !closed {
+		e.emit("peer-down", fmt.Sprintf("node %d: %s", p.id, why))
+	}
+}
+
+// writeFrame encodes and writes one frame under the write deadline.
+func (e *Endpoint) writeFrame(conn gonet.Conn, m proto.Msg) error {
+	frame, err := e.codec.Encode(m)
+	if err != nil {
+		return err
+	}
+	conn.SetWriteDeadline(time.Now().Add(e.cfg.WriteTimeout))
+	_, err = conn.Write(frame)
+	return err
+}
+
+// Send implements proto.Transport. Unlike the sim and live transports
+// a TCP send can genuinely fail — dial refused, connection broken,
+// write deadline expired — and the failure is returned, counted, and
+// traced; the broken connection is dropped so the reliability layer's
+// retransmissions re-dial.
+func (e *Endpoint) Send(to radio.NodeID, m proto.Msg) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return errors.New("net: endpoint closed")
+	}
+	if to == e.cfg.Self {
+		e.Sent.Add(1)
+		select {
+		case e.inbox <- Delivery{From: to, Msg: m}:
+			e.Delivered.Add(1)
+		default:
+			e.Overflows.Add(1)
+			e.emit("inbox-overflow", fmt.Sprintf("dropped local %s (inbox full)", m.Kind()))
+		}
+		return nil
+	}
+	p, err := e.connect(to)
+	if err != nil {
+		e.sendFailed(to, m, err)
+		return err
+	}
+	p.wmu.Lock()
+	err = e.writeFrame(p.conn, m)
+	p.wmu.Unlock()
+	if err != nil {
+		e.dropPeer(p, "write: "+err.Error())
+		e.sendFailed(to, m, err)
+		return err
+	}
+	e.Sent.Add(1)
+	return nil
+}
+
+func (e *Endpoint) sendFailed(to radio.NodeID, m proto.Msg, err error) {
+	e.SendErrors.Add(1)
+	e.emit("send-error", fmt.Sprintf("%s to node %d: %v", m.Kind(), to, err))
+}
+
+// Broadcast implements proto.Transport: the frame goes to every known
+// peer (registered address or live connection, never self) whose link
+// is in radio range, mirroring the medium's single-hop semantics. Send
+// failures are aggregated; partial delivery is normal on a fabric with
+// a dead daemon and the negotiation tolerates it.
+func (e *Endpoint) Broadcast(m proto.Msg) error {
+	e.mu.Lock()
+	ids := make(map[radio.NodeID]bool, len(e.addrs)+len(e.peers))
+	for id := range e.addrs {
+		ids[id] = true
+	}
+	for id := range e.peers {
+		ids[id] = true
+	}
+	e.mu.Unlock()
+	order := make([]radio.NodeID, 0, len(ids))
+	for id := range ids {
+		if id != e.cfg.Self {
+			order = append(order, id)
+		}
+	}
+	sortNodeIDs(order)
+	var errs []error
+	for _, id := range order {
+		// Connect first so the directory has the peer's link, then apply
+		// the range filter; an unreachable peer is a send error.
+		if _, err := e.connect(id); err != nil {
+			e.sendFailed(id, m, err)
+			errs = append(errs, err)
+			continue
+		}
+		e.mu.Lock()
+		l, ok := e.links[id]
+		e.mu.Unlock()
+		if !ok || !radio.LinkInRange(e.cfg.Link, l) {
+			continue // out of radio range: silent, like the medium
+		}
+		if err := e.Send(id, m); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func sortNodeIDs(ids []radio.NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// CommCost implements proto.Transport with the shared link-model
+// arithmetic (radio.LinkLatency), so cost-based selection picks the
+// same winners as the simulated medium for the same topology.
+func (e *Endpoint) CommCost(to radio.NodeID, size int64) float64 {
+	if to == e.cfg.Self {
+		return 0
+	}
+	e.mu.Lock()
+	l, ok := e.links[to]
+	e.mu.Unlock()
+	if !ok || !radio.LinkInRange(e.cfg.Link, l) {
+		return math.Inf(1)
+	}
+	return radio.LinkLatency(e.cfg.Link, l, size, e.cfg.PropDelay, e.cfg.ProcDelay)
+}
+
+// PeerLink reports a peer's directory entry.
+func (e *Endpoint) PeerLink(id radio.NodeID) (radio.Link, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	l, ok := e.links[id]
+	return l, ok
+}
+
+// PeerCapacity reports a peer's advertised capacity.
+func (e *Endpoint) PeerCapacity(id radio.NodeID) (resource.Vector, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c, ok := e.caps[id]
+	return c, ok
+}
+
+// Peers returns the IDs of currently connected peers, ascending.
+func (e *Endpoint) Peers() []radio.NodeID {
+	e.mu.Lock()
+	ids := make([]radio.NodeID, 0, len(e.peers))
+	for id := range e.peers {
+		ids = append(ids, id)
+	}
+	e.mu.Unlock()
+	sortNodeIDs(ids)
+	return ids
+}
+
+// Close implements proto.Network: it stops accepting, says Bye to every
+// peer, closes all connections, and waits for the read loops to drain.
+// Close is idempotent.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	ln := e.ln
+	peers := make([]*peer, 0, len(e.peers))
+	for _, p := range e.peers {
+		peers = append(peers, p)
+	}
+	e.peers = make(map[radio.NodeID]*peer)
+	e.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	bye := &proto.Bye{Reason: "closing"}
+	for _, p := range peers {
+		p.wmu.Lock()
+		_ = e.writeFrame(p.conn, bye) // best effort
+		p.wmu.Unlock()
+		p.conn.Close()
+	}
+	e.wg.Wait()
+	return nil
+}
+
+// emit publishes an endpoint trace event stamped with the scaled clock.
+func (e *Endpoint) emit(kind, detail string) {
+	e.cfg.Trace.Emit(trace.Event{
+		T:      e.Timers().Now(),
+		Node:   int(e.cfg.Self),
+		Role:   "engine",
+		Kind:   kind,
+		Detail: detail,
+	})
+}

@@ -1,0 +1,258 @@
+package net
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/proto"
+	"repro/internal/qos"
+	"repro/internal/radio"
+	"repro/internal/resource"
+	"repro/internal/task"
+)
+
+// NodeConfig assembles one networked node.
+type NodeConfig struct {
+	// Endpoint configures the TCP transport.
+	Endpoint Config
+	// Provider configures the node's QoS Provider.
+	Provider core.ProviderConfig
+	// Retry enables the at-least-once reliability layer, exactly as on
+	// the other runtimes; over real sockets it doubles as the re-dial
+	// schedule for transiently unreachable peers.
+	Retry proto.RetryConfig
+}
+
+// Node is one networked device: an Endpoint, the node's resources and
+// QoS Provider, and any organizers it runs for locally requested
+// services. It is the TCP sibling of core.Node and live.Node, built on
+// the same state machines and the same shared dispatch plumbing.
+type Node struct {
+	Endpoint *Endpoint
+	Res      *resource.Set
+	Provider *core.Provider
+
+	catalog  *core.Catalog
+	tr       proto.Transport
+	tm       proto.Timers
+	reliable *proto.Reliable
+
+	orgMu      sync.Mutex
+	organizers map[string]*core.Organizer
+	orgSink    func(svc string) proto.Sink
+	dedup      proto.Dedup
+
+	quit     chan struct{}
+	done     chan struct{}
+	started  atomic.Bool
+	stopOnce sync.Once
+}
+
+// NewNode builds a node; Start brings it onto the fabric.
+func NewNode(cfg NodeConfig) *Node {
+	ep := NewEndpoint(cfg.Endpoint)
+	n := &Node{
+		Endpoint:   ep,
+		Res:        resource.NewSet(ep.cfg.Capacity),
+		catalog:    core.NewCatalog(),
+		tm:         ep.Timers(),
+		organizers: make(map[string]*core.Organizer),
+		quit:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	n.orgSink = func(svc string) proto.Sink {
+		if o := n.organizer(svc); o != nil {
+			return o
+		}
+		return nil // explicit nil interface, not a typed-nil *core.Organizer
+	}
+	n.tr = ep
+	if cfg.Retry.Enabled() {
+		n.reliable = proto.NewReliable(ep, n.tm, cfg.Retry)
+		n.tr = n.reliable
+		ep.Obs().Register(obs.Retransmissions, n.reliable.RetxCounter())
+	}
+	ep.Obs().Register(obs.Duplicates, &n.dedup.Duplicates)
+	n.Provider = core.NewProvider(ep.Self(), n.Res, n.catalog, n.tr, n.tm, cfg.Provider)
+	ep.Obs().Register(obs.StaleReleases, &n.Provider.StaleReleases)
+	return n
+}
+
+// Catalog exposes the node's application catalog, for pre-seeding
+// specs and demand models out of band.
+func (n *Node) Catalog() *core.Catalog { return n.catalog }
+
+// Start begins listening (when a listen address is configured) and
+// starts the dispatch loop.
+func (n *Node) Start() error {
+	if n.Endpoint.cfg.ListenAddr != "" {
+		if err := n.Endpoint.Listen(); err != nil {
+			return err
+		}
+	}
+	n.started.Store(true)
+	go n.loop()
+	return nil
+}
+
+// Close tears the node down: the endpoint first (so no further
+// deliveries arrive), then the dispatch loop. Close is idempotent.
+func (n *Node) Close() error {
+	err := n.Endpoint.Close()
+	n.stopOnce.Do(func() { close(n.quit) })
+	if n.started.Load() {
+		<-n.done
+	}
+	return err
+}
+
+// loop drains the endpoint inbox; it is the single goroutine that
+// touches the dedup window and the protocol state machines, matching
+// the live runtime's one-loop-per-node discipline.
+func (n *Node) loop() {
+	defer close(n.done)
+	for {
+		select {
+		case <-n.quit:
+			return
+		case d := <-n.Endpoint.Inbox():
+			n.handle(d.From, d.Msg)
+		}
+	}
+}
+
+// handle is the node's receive path: unwrap and dedup once, apply
+// fabric control messages, and push everything else through the shared
+// protocol dispatch.
+func (n *Node) handle(from radio.NodeID, m proto.Msg) {
+	inner, seq := proto.Unwrap(m)
+	if n.dedup.Duplicate(from, seq) {
+		return
+	}
+	if cu, ok := inner.(*proto.CatalogUpdate); ok {
+		n.applyCatalog(cu)
+		return
+	}
+	proto.Dispatch(&n.dedup, from, inner, n.orgSink, n.Provider)
+}
+
+// applyCatalog installs pushed specs and demand models, idempotently:
+// entries already present are kept (first registration wins, matching
+// core.Catalog.RegisterService).
+func (n *Node) applyCatalog(cu *proto.CatalogUpdate) {
+	for _, raw := range cu.Specs {
+		s, err := qos.DecodeSpec(raw)
+		if err != nil {
+			n.Endpoint.emit("catalog-error", fmt.Sprintf("bad spec: %v", err))
+			continue
+		}
+		if _, ok := n.catalog.Spec(s.Name); ok {
+			continue
+		}
+		if err := n.catalog.AddSpec(s); err != nil {
+			n.Endpoint.emit("catalog-error", err.Error())
+		}
+	}
+	for i := range cu.Demands {
+		d := &cu.Demands[i]
+		if _, ok := n.catalog.Demand(d.Ref); ok {
+			continue
+		}
+		ld := &task.LinearDemand{Base: d.Base}
+		if len(d.Coef) > 0 {
+			ld.Coef = make(map[qos.AttrKey]resource.Vector, len(d.Coef))
+			for _, c := range d.Coef {
+				ld.Coef[qos.AttrKey{Dim: c.Dim, Attr: c.Attr}] = c.Vec
+			}
+		}
+		if err := n.catalog.AddDemand(d.Ref, ld); err != nil {
+			n.Endpoint.emit("catalog-error", err.Error())
+		}
+	}
+}
+
+// CatalogUpdateFor builds the catalog push for one service: its spec's
+// canonical JSON plus one demand entry per distinct task reference.
+// Only task.LinearDemand crosses the wire; other models would need
+// their own serialization.
+func CatalogUpdateFor(svc *task.Service) (*proto.CatalogUpdate, error) {
+	raw, err := qos.EncodeSpec(svc.Spec)
+	if err != nil {
+		return nil, err
+	}
+	cu := &proto.CatalogUpdate{Specs: [][]byte{raw}}
+	seen := make(map[string]bool, len(svc.Tasks))
+	for _, t := range svc.Tasks {
+		ref := t.Ref(svc.ID)
+		if seen[ref] {
+			continue
+		}
+		seen[ref] = true
+		ld, ok := t.Demand.(*task.LinearDemand)
+		if !ok {
+			return nil, fmt.Errorf("net: demand %q is %T; only LinearDemand is wire-serializable", ref, t.Demand)
+		}
+		entry := proto.DemandEntry{Ref: ref, Base: ld.Base}
+		keys := make([]qos.AttrKey, 0, len(ld.Coef))
+		for k := range ld.Coef {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].Dim != keys[j].Dim {
+				return keys[i].Dim < keys[j].Dim
+			}
+			return keys[i].Attr < keys[j].Attr
+		})
+		for _, k := range keys {
+			entry.Coef = append(entry.Coef, proto.AttrVector{Dim: k.Dim, Attr: k.Attr, Vec: ld.Coef[k]})
+		}
+		cu.Demands = append(cu.Demands, entry)
+	}
+	return cu, nil
+}
+
+// Submit starts a negotiation from this node: the service's catalog
+// entries are pushed to every reachable peer (frames are ordered per
+// connection, so the push lands before the CFP), then the organizer
+// broadcasts its call for proposals to in-process and remote providers
+// alike. onFormed fires on each completed (re)formation attempt, from a
+// timer goroutine.
+func (n *Node) Submit(svc *task.Service, cfg core.OrganizerConfig, onFormed func(*core.Result)) (*core.Organizer, error) {
+	if err := n.catalog.RegisterService(svc); err != nil {
+		return nil, err
+	}
+	cu, err := CatalogUpdateFor(svc)
+	if err != nil {
+		return nil, err
+	}
+	// Push errors are advisory: a dead daemon simply won't propose, and
+	// the endpoint already counted and traced the failure.
+	_ = n.Endpoint.Broadcast(cu)
+	o, err := core.NewOrganizer(svc, n.tr, n.tm, cfg, onFormed)
+	if err != nil {
+		return nil, err
+	}
+	n.orgMu.Lock()
+	if _, dup := n.organizers[svc.ID]; dup {
+		n.orgMu.Unlock()
+		return nil, fmt.Errorf("net: node %d already organizes %q", n.Endpoint.Self(), svc.ID)
+	}
+	n.organizers[svc.ID] = o
+	n.orgMu.Unlock()
+	o.Start()
+	return o, nil
+}
+
+func (n *Node) organizer(svc string) *core.Organizer {
+	n.orgMu.Lock()
+	defer n.orgMu.Unlock()
+	return n.organizers[svc]
+}
+
+// Duplicates reports the sequenced deliveries this node suppressed.
+// Call after Close — the window is owned by the loop goroutine.
+func (n *Node) Duplicates() uint64 { return n.dedup.Duplicates.Load() }

@@ -1,0 +1,84 @@
+package net
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+	"repro/internal/radio"
+	"repro/internal/workload"
+)
+
+// TestTwoNodeNegotiation runs a real coalition formation over TCP
+// loopback: node 0 organizes a one-task streaming service, node 1 is a
+// remote provider, and after dissolution both ledgers return to full
+// capacity.
+func TestTwoNodeNegotiation(t *testing.T) {
+	mk := func(id radio.NodeID, x float64, profile string) *Node {
+		p, err := workload.ProfileByName(profile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := NodeConfig{
+			Endpoint: Config{
+				Self:       id,
+				ListenAddr: "127.0.0.1:0",
+				Link:       radio.Link{Pos: radio.Pos{X: x}, RangeM: p.RangeM, Bitrate: p.Bitrate},
+				Capacity:   p.Capacity,
+				TimeScale:  0.01,
+			},
+			Provider: core.DefaultProviderConfig,
+			Retry:    proto.DefaultRetryConfig,
+		}
+		n := NewNode(cfg)
+		if err := n.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	org := mk(0, 0, "phone")
+	prov := mk(1, 10, "laptop")
+	defer prov.Close()
+	defer org.Close()
+
+	if err := org.Endpoint.Dial(1, prov.Endpoint.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	formed := make(chan *core.Result, 4)
+	ocfg := core.DefaultOrganizerConfig
+	ocfg.Monitor = false
+	o, err := org.Submit(workload.StreamService("net-svc", 1, 1.0), ocfg, func(r *core.Result) {
+		formed <- r
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var res *core.Result
+	select {
+	case res = <-formed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("formation did not complete")
+	}
+	if !res.Complete() {
+		t.Fatalf("incomplete formation: %+v", res)
+	}
+	// The catalog push must have landed on the remote provider.
+	if _, ok := prov.Catalog().Spec("multimedia"); !ok {
+		t.Error("spec did not reach the remote catalog")
+	}
+
+	o.Dissolve("test done")
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if prov.Res.Available() == prov.Res.Capacity() &&
+			org.Res.Available() == org.Res.Capacity() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("ledgers not restored: org %v/%v, prov %v/%v",
+		org.Res.Available(), org.Res.Capacity(), prov.Res.Available(), prov.Res.Capacity())
+}

@@ -28,4 +28,13 @@ const (
 	LiveDelivered = "live.delivered"
 	LiveDropped   = "live.dropped"
 	LiveOverflows = "live.overflows"
+	// NetSent/NetDelivered/NetSendErrors/NetOverflows count the TCP
+	// fabric's message traffic (internal/net): frames written, frames
+	// dispatched after decode, sends that surfaced a socket error
+	// (dial/write/deadline failures — modeled loss never counts here),
+	// and inbound messages dropped on a full endpoint inbox.
+	NetSent       = "net.sent"
+	NetDelivered  = "net.delivered"
+	NetSendErrors = "net.send_errors"
+	NetOverflows  = "net.overflows"
 )

@@ -1,0 +1,100 @@
+package proto
+
+import (
+	"repro/internal/radio"
+	"repro/internal/resource"
+)
+
+// This file holds the session-control vocabulary of the networked
+// fabric (internal/net): messages exchanged between endpoints to set up
+// and tear down the peer relationship itself, as opposed to the
+// negotiation messages in proto.go that the paper defines. They ride
+// the same codec and the same framed connections.
+
+// Hello is the first message on every connection, in both directions:
+// it registers the sender with the receiver's peer directory. It
+// carries exactly the fields of the radio link model (radio.Link) —
+// position, range, bitrate — so a TCP endpoint can compute in-range
+// membership and communication cost with the same arithmetic the
+// simulated medium uses, plus the node's capacity vector so organizers
+// can report remote fleet capacity without a separate exchange.
+type Hello struct {
+	Node radio.NodeID
+	// X, Y, RangeM and Bitrate describe the node's radio.Link.
+	X, Y    float64
+	RangeM  float64
+	Bitrate float64
+	// Capacity is the node's total resource vector (informational).
+	Capacity resource.Vector
+}
+
+// WireSize implements Msg.
+func (m *Hello) WireSize() int { return 8 + 4*8 + 8*resource.NumKinds }
+
+// Kind implements Msg.
+func (m *Hello) Kind() string { return "hello" }
+
+// AttrVector is one (dimension, attribute) → resource coefficient row
+// of a linear demand model, the wire form of task.LinearDemand's Coef
+// map entry. Rows are ordered by (Dim, Attr) on the wire so encoding is
+// deterministic.
+type AttrVector struct {
+	Dim, Attr string
+	Vec       resource.Vector
+}
+
+// DemandEntry publishes one demand profile under its catalog reference.
+type DemandEntry struct {
+	Ref  string
+	Base resource.Vector
+	Coef []AttrVector
+}
+
+// WireSize implements Msg-style accounting for the entry.
+func (d *DemandEntry) wireSize() int {
+	n := 8 + len(d.Ref) + 8*resource.NumKinds
+	for _, c := range d.Coef {
+		n += 16 + len(c.Dim) + len(c.Attr) + 8*resource.NumKinds
+	}
+	return n
+}
+
+// CatalogUpdate pushes catalog entries to a remote provider before a
+// CFP can reference them: QoS specs (as the qos package's canonical
+// JSON, which is already the catalog interchange format) and linear
+// demand models by reference. Daemons apply entries idempotently —
+// re-registering an identical spec or demand is a no-op, so organizers
+// can push their whole catalog before every submission.
+type CatalogUpdate struct {
+	// Specs holds qos.EncodeSpec JSON documents, one per spec.
+	Specs   [][]byte
+	Demands []DemandEntry
+}
+
+// WireSize implements Msg.
+func (m *CatalogUpdate) WireSize() int {
+	n := 16
+	for _, s := range m.Specs {
+		n += 8 + len(s)
+	}
+	for i := range m.Demands {
+		n += m.Demands[i].wireSize()
+	}
+	return n
+}
+
+// Kind implements Msg.
+func (m *CatalogUpdate) Kind() string { return "catalog" }
+
+// Bye announces a graceful close: the sender will not transmit again on
+// this connection, and the receiver should drop the peer from its
+// directory without treating the close as a failure.
+type Bye struct {
+	Reason string
+}
+
+// WireSize implements Msg.
+func (m *Bye) WireSize() int { return 8 + len(m.Reason) }
+
+// Kind implements Msg.
+func (m *Bye) Kind() string { return "bye" }

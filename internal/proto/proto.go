@@ -189,19 +189,44 @@ func (m *Dissolve) WireSize() int { return 24 + len(m.Reason) }
 // Kind implements Msg.
 func (m *Dissolve) Kind() string { return "dissolve" }
 
-// Transport lets a protocol entity send messages; implementations exist
-// over the radio medium (simulation) and over channels (live runtime).
+// Transport lets a protocol entity send messages. One vocabulary serves
+// three runtimes: the simulated radio medium (internal/core over
+// internal/radio), the in-process goroutine runtime (internal/live), and
+// real TCP sockets (internal/net).
+//
+// Send and Broadcast return an error when the transport *knows* the
+// message did not go out — a dial failure, a broken or deadline-expired
+// socket. Modeled radio loss (out of range, LossProb, a full inbox) is
+// not an error: it is the lossy medium the protocol is designed for, so
+// the sim and live transports always return nil. Callers treat errors
+// as advisory — the negotiation is loss-tolerant by construction and
+// the reliability layer (Reliable) retries regardless — but the TCP
+// path surfaces them into the obs counters instead of swallowing them.
 type Transport interface {
 	// Self returns the local node ID.
 	Self() radio.NodeID
 	// Send unicasts to a neighbour.
-	Send(to radio.NodeID, m Msg)
+	Send(to radio.NodeID, m Msg) error
 	// Broadcast reaches all current single-hop neighbours.
-	Broadcast(m Msg)
+	Broadcast(m Msg) error
 	// CommCost estimates the cost (seconds) of moving size bytes to the
 	// given node; +Inf when unreachable. The organizer uses it for the
 	// "lowest communication cost" selection criterion.
 	CommCost(to radio.NodeID, size int64) float64
+}
+
+// Network extends Transport with the explicit link lifecycle of
+// deployments whose connections are real operating-system resources.
+// In-process transports are born connected and never implement it; the
+// TCP fabric (internal/net) does.
+type Network interface {
+	Transport
+	// Listen starts accepting inbound peers.
+	Listen() error
+	// Dial registers (and lazily connects) the address of a peer.
+	Dial(to radio.NodeID, addr string) error
+	// Close tears the endpoint down, draining in-flight writes.
+	Close() error
 }
 
 // Timers schedules callbacks in the entity's time base (virtual seconds

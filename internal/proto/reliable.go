@@ -159,27 +159,29 @@ func (r *Reliable) CommCost(to radio.NodeID, size int64) float64 {
 
 // Send implements Transport: retriable messages to other nodes are
 // wrapped, sent, and blindly retransmitted on the backoff schedule.
-// Self-sends and heartbeats pass through unwrapped.
-func (r *Reliable) Send(to radio.NodeID, m Msg) {
+// Self-sends and heartbeats pass through unwrapped. The returned error
+// is the initial transmission's; retries are scheduled regardless, so
+// a transient dial failure still heals through the backoff schedule.
+func (r *Reliable) Send(to radio.NodeID, m Msg) error {
 	if to == r.inner.Self() || !r.cfg.Enabled() || !Retriable(m) {
-		r.inner.Send(to, m)
-		return
+		return r.inner.Send(to, m)
 	}
 	w := r.wrap(m)
-	r.inner.Send(to, w)
-	r.scheduleRetries(func() { r.inner.Send(to, w) }, w.Seq)
+	err := r.inner.Send(to, w)
+	r.scheduleRetries(func() { _ = r.inner.Send(to, w) }, w.Seq)
+	return err
 }
 
 // Broadcast implements Transport: each retransmission re-broadcasts,
 // reaching whatever neighbours are in range at that instant.
-func (r *Reliable) Broadcast(m Msg) {
+func (r *Reliable) Broadcast(m Msg) error {
 	if !r.cfg.Enabled() || !Retriable(m) {
-		r.inner.Broadcast(m)
-		return
+		return r.inner.Broadcast(m)
 	}
 	w := r.wrap(m)
-	r.inner.Broadcast(w)
-	r.scheduleRetries(func() { r.inner.Broadcast(w) }, w.Seq)
+	err := r.inner.Broadcast(w)
+	r.scheduleRetries(func() { _ = r.inner.Broadcast(w) }, w.Seq)
+	return err
 }
 
 func (r *Reliable) wrap(m Msg) *Sequenced {

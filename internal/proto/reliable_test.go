@@ -21,11 +21,13 @@ type fakeSend struct {
 }
 
 func (f *fakeTransport) Self() radio.NodeID { return f.self }
-func (f *fakeTransport) Send(to radio.NodeID, m Msg) {
+func (f *fakeTransport) Send(to radio.NodeID, m Msg) error {
 	f.sends = append(f.sends, fakeSend{to: to, msg: m})
+	return nil
 }
-func (f *fakeTransport) Broadcast(m Msg) {
+func (f *fakeTransport) Broadcast(m Msg) error {
 	f.sends = append(f.sends, fakeSend{to: radio.Broadcast, msg: m, bcast: true})
+	return nil
 }
 func (f *fakeTransport) CommCost(to radio.NodeID, size int64) float64 { return 0.001 }
 

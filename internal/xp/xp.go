@@ -120,6 +120,8 @@ func All() []Experiment {
 			Claim: "bursty loss defeats bounded retransmission where i.i.d. loss of equal mean does not", Run: E26BurstLoss},
 		{ID: "E27", Title: "Transient partitions: reconfiguration and reclamation",
 			Claim: "coalitions reconfigure around a split and the reconciliation sweep reclaims what the cut stranded (S4)", Run: E27PartitionHeal},
+		{ID: "E28", Title: "TCP socket fabric vs simulator, with daemon crash",
+			Claim: "the protocol is deployment-independent: real sockets form the same coalition, and survive losing a daemon mid-negotiation (engineering validation)", Run: E28InteropTCP},
 	}
 }
 
