@@ -70,6 +70,8 @@ func BenchmarkE25LossRetry(b *testing.B)          { benchExperiment(b, xp.E25Los
 func BenchmarkE26BurstLoss(b *testing.B)          { benchExperiment(b, xp.E26BurstLoss) }
 func BenchmarkE27PartitionHeal(b *testing.B)      { benchExperiment(b, xp.E27PartitionHeal) }
 func BenchmarkE28InteropTCP(b *testing.B)         { benchExperiment(b, xp.E28InteropTCP) }
+func BenchmarkE29AdmissionPolicies(b *testing.B)  { benchExperiment(b, xp.E29AdmissionPolicies) }
+func BenchmarkE30QueueVsYieldBurst(b *testing.B)  { benchExperiment(b, xp.E30QueueVsYieldBurst) }
 
 // BenchmarkSweepParallel runs one full-size replication-heavy
 // experiment at increasing worker-pool widths. Throughput should scale

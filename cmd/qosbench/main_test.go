@@ -70,7 +70,7 @@ func TestParseFlagsRejects(t *testing.T) {
 
 func TestSelectExperiments(t *testing.T) {
 	all, err := selectExperiments("")
-	if err != nil || len(all) != 28 {
+	if err != nil || len(all) != 30 {
 		t.Fatalf("default selection: %d experiments, err %v", len(all), err)
 	}
 	two, err := selectExperiments("E5, E1")

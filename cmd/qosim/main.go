@@ -14,13 +14,21 @@
 // prints steady-state statistics:
 //
 //	qosim -open [-rate F] [-hold F] [-horizon F] [-churn F]
-//	      [-adapt off|kill|migrate|degrade] [-faults]
+//	      [-adapt off|kill|migrate|degrade] [-admit block|queue|yield]
+//	      [-faults]
 //
 // -churn sets node leaves per hour; -adapt picks the mid-session QoS
 // adaptation policy applied when churn orphans a live session's tasks
 // (see internal/adapt). "degrade" additionally enables
 // utilisation-pressure QoS shedding and epoch-driven upgrade
 // reclamation at the engine defaults.
+//
+// -admit picks the admission policy for blocked arrivals (see
+// internal/admit): "block" rejects immediately (the default economy),
+// "queue" lets them wait out congestion with the default deadline and
+// retry cadence, "yield" admits them by degrading incumbents when the
+// marginal utility gain exceeds the drift cost (this implies the
+// adaptation engine; -adapt off is promoted to a minimal config).
 //
 // -faults is the chaos quick-start: it runs the open system against a
 // representative deterministic fault plan (i.i.d. + bursty loss, delay
@@ -66,6 +74,7 @@ import (
 	"time"
 
 	"repro/internal/adapt"
+	"repro/internal/admit"
 	"repro/internal/arrival"
 	"repro/internal/core"
 	"repro/internal/faults"
@@ -105,6 +114,7 @@ type options struct {
 	horizon  float64
 	churn    float64
 	adapt    string
+	admit    string
 	slowpath bool
 	faults   bool
 
@@ -138,6 +148,7 @@ func parseFlags(args []string, errw io.Writer) (*options, error) {
 	fs.Float64Var(&o.horizon, "horizon", 600, "open mode: simulated span (s); warmup is horizon/10")
 	fs.Float64Var(&o.churn, "churn", 0, "open mode: node leaves per hour (0 = no churn)")
 	fs.StringVar(&o.adapt, "adapt", "off", "open mode: mid-session QoS adaptation: off | kill | migrate | degrade")
+	fs.StringVar(&o.admit, "admit", "block", "open mode: admission policy for blocked arrivals: block | queue | yield")
 	fs.BoolVar(&o.slowpath, "slowpath", false, "open mode: drive the reference (unpooled) session loop; output is bit-identical to the default fast path")
 	fs.BoolVar(&o.faults, "faults", false, "open mode: inject the representative deterministic fault plan with the reliability layer on")
 	fs.StringVar(&o.traceOut, "trace-out", "", "write the flight-recorder trace as JSONL to FILE")
@@ -151,6 +162,11 @@ func parseFlags(args []string, errw io.Writer) (*options, error) {
 	case "off", "kill", "migrate", "degrade":
 	default:
 		err := fmt.Errorf("qosim: unknown -adapt policy %q (off | kill | migrate | degrade)", o.adapt)
+		fmt.Fprintln(errw, err)
+		return nil, err
+	}
+	if _, err := admit.ParsePolicy(o.admit); err != nil {
+		err = fmt.Errorf("qosim: unknown -admit policy %q (block | queue | yield)", o.admit)
 		fmt.Fprintln(errw, err)
 		return nil, err
 	}
@@ -223,6 +239,17 @@ func runOpen(o *options, out io.Writer) error {
 		cfg.Organizer.Monitor = false
 		cfg.Organizer.Reconfigure = false
 	}
+	if pol, _ := admit.ParsePolicy(o.admit); pol != admit.Block {
+		cfg.Admission = &admit.Config{Policy: pol}
+		if pol == admit.Yield && cfg.Adapt == nil {
+			// Yield degrades incumbents through the adaptation engine;
+			// promote -adapt off to a minimal config that owns the
+			// ladder bookkeeping (and the monitor hand-off above).
+			cfg.Adapt = &adapt.Config{OnChurn: adapt.DegradeToFit}
+			cfg.Organizer.Monitor = false
+			cfg.Organizer.Reconfigure = false
+		}
+	}
 	var journal *trace.Journal
 	if o.traceOut != "" {
 		journal = trace.NewJournal()
@@ -249,6 +276,12 @@ func runOpen(o *options, out io.Writer) error {
 		a := st.Adapt
 		fmt.Fprintf(out, "adaptation (%s): %d repairs, %d degrades, %d upgrades, %d kills, drift %.4f\n",
 			o.adapt, a.Repairs, a.Degrades, a.Upgrades, a.Kills, a.MeanDrift())
+	}
+	if o.admit != "block" {
+		ad := st.Admit
+		fmt.Fprintf(out, "admission (%s): %d queued, %d retries, %d queue admits, %d expired, %d yield admits (%d steps, %d reverted), utility %.1f, drift cost %.3f\n",
+			o.admit, ad.Queued, ad.Retries, ad.QueueAdmits, ad.Expired,
+			ad.YieldAdmits, ad.YieldSteps, ad.YieldReverted, ad.UtilitySum, ad.DriftCost)
 	}
 	if inj != nil {
 		fs := inj.Stats

@@ -246,6 +246,11 @@ type Engine struct {
 	// whose process — and reservation ledger — is still alive, so they
 	// are neither Down nor usable (see SetAvoid, NodeUnreachable).
 	avoid map[radio.NodeID]bool
+	// yields journals incumbent degrades applied for pending Yield
+	// admissions, keyed by the beneficiary service ID (see yield.go);
+	// evals caches each compiled problem's eq. 3 evaluator for pricing.
+	yields map[string][]yieldMark
+	evals  map[*core.CompiledProblem]*qos.Evaluator
 
 	// Steady-state scratch and free-lists: open-system runs admit and
 	// forget sessions continuously, so session records, task records and
@@ -277,6 +282,8 @@ func New(cl *core.Cluster, cfg Config, countFrom float64) (*Engine, error) {
 		stops:     make(map[*core.CompiledProblem][]pathStop),
 		sessions:  make(map[string]*state),
 		avoid:     make(map[radio.NodeID]bool),
+		yields:    make(map[string][]yieldMark),
+		evals:     make(map[*core.CompiledProblem]*qos.Evaluator),
 	}, nil
 }
 

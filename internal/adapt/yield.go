@@ -1,0 +1,246 @@
+package adapt
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/qos"
+	"repro/internal/radio"
+	"repro/internal/task"
+)
+
+// This file is the adaptation engine's half of the Yield admission
+// policy (internal/admit): the session engine prices an arriving
+// session's best attainable utility with SessionBestUtility, buys
+// incumbent degrade steps with Yield while the cumulative utility cost
+// stays strictly under that gain, and settles with YieldResolve once the
+// retried formation resolves — commit on admission, best-effort rollback
+// on failure. The steps themselves are the ordinary dep-consistent
+// ladder steps of degradeStep/upgradeStep, so everything stays on the
+// compiled fast path and degrade→revert round-trips are float64-exact.
+
+// yieldMark remembers one incumbent degrade applied on behalf of a
+// pending yield admission, so a failed retry can roll it back.
+type yieldMark struct {
+	svcID  string
+	taskID string
+}
+
+// evalFor caches the eq. 3 evaluator of a compiled problem; it shares
+// the problem's Spec/Req, so cache identity follows cp identity.
+func (e *Engine) evalFor(cp *core.CompiledProblem) *qos.Evaluator {
+	if ev, ok := e.evals[cp]; ok {
+		return ev
+	}
+	ev := &qos.Evaluator{Spec: cp.Spec, Req: cp.Req}
+	e.evals[cp] = ev
+	return ev
+}
+
+// SessionBestUtility returns the eq. 3 utility the service would earn if
+// every task were served at its best dependency-consistent degradation
+// stop — the marginal gain an arriving session offers the system, and
+// the budget the Yield policy may spend on incumbent drift. Tasks with
+// no consistent stop contribute 0 (the session can never fully form).
+func (e *Engine) SessionBestUtility(svc *task.Service) (float64, error) {
+	var u float64
+	for _, t := range svc.Tasks {
+		cp, err := e.compileFor(svc, t)
+		if err != nil {
+			return 0, err
+		}
+		stops := e.stopsFor(cp)
+		if len(stops) == 0 {
+			continue
+		}
+		best := math.Inf(1)
+		for i := range stops {
+			if d := cp.C.Distance(stops[i].a); d < best {
+				best = d
+			}
+		}
+		u += e.evalFor(cp).Utility(best)
+	}
+	return u, nil
+}
+
+// Yield buys incumbent degrade steps for a pending admission of forSvc:
+// repeatedly degrade one task on the most-utilized node, most-loaded
+// node first (ties by ascending node ID, sessions in admission order —
+// the same deterministic orders the pressure trigger uses), while the
+// cumulative utility cost stays strictly below gain and at most maxSteps
+// steps apply. Every step is journaled under forSvc for YieldResolve.
+// Returns the steps applied and their total utility cost.
+func (e *Engine) Yield(now float64, forSvc string, gain float64, maxSteps int) (steps int, cost float64) {
+	for steps < maxSteps {
+		price, ok := e.yieldStep(now, forSvc, gain-cost)
+		if !ok {
+			break
+		}
+		cost += price
+		steps++
+	}
+	return steps, cost
+}
+
+// yieldStep locates, prices and applies one affordable incumbent
+// degrade: candidate nodes by descending utilisation, resident sessions
+// in admission order, and a step is affordable when its utility price is
+// strictly below budget. Returns the price paid.
+func (e *Engine) yieldStep(now float64, forSvc string, budget float64) (float64, bool) {
+	counts := e.counts(now)
+	ids := e.cl.Medium.IDs()
+	type cand struct {
+		id   radio.NodeID
+		util float64
+	}
+	cands := make([]cand, 0, len(ids))
+	for _, id := range ids {
+		if e.cl.Medium.Down(id) || e.avoid[id] {
+			continue
+		}
+		if u := e.nodeUtil(id); u > 0 {
+			cands = append(cands, cand{id: id, util: u})
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].util != cands[j].util {
+			return cands[i].util > cands[j].util
+		}
+		return cands[i].id < cands[j].id
+	})
+	for _, c := range cands {
+		for _, svcID := range e.order {
+			if svcID == forSvc {
+				continue
+			}
+			st := e.sessions[svcID]
+			if st.killed {
+				continue
+			}
+			for _, ts := range st.tasks {
+				if ts.node != c.id {
+					continue
+				}
+				price, ok := e.priceDegrade(ts)
+				if !ok || price >= budget {
+					continue
+				}
+				if !e.degradeStep(now, st, ts, counts) {
+					continue
+				}
+				e.yields[forSvc] = append(e.yields[forSvc], yieldMark{svcID: st.svcID, taskID: ts.t.ID})
+				return price, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// priceDegrade walks the same next-relieving-stop search as degradeStep
+// without applying it, returning the step's utility price (clamped
+// nonnegative: distance is non-decreasing along the path, but clamping
+// keeps the budget arithmetic safe regardless).
+func (e *Engine) priceDegrade(ts *taskState) (float64, bool) {
+	curDemand, err := ts.cp.DemandAt(ts.cur)
+	if err != nil {
+		return 0, false
+	}
+	a := ts.cur.Clone()
+	for {
+		i, ok := ts.cp.NextDegradation(a)
+		if !ok {
+			return 0, false
+		}
+		a[i]++
+		if ok, _ := ts.cp.C.DepsSatisfied(a); !ok {
+			continue
+		}
+		demand, err := ts.cp.DemandAt(a)
+		if err != nil {
+			return 0, false
+		}
+		relieves := false
+		for k := range demand {
+			if demand[k] < curDemand[k] {
+				relieves = true
+				break
+			}
+		}
+		if !relieves {
+			continue
+		}
+		ev := e.evalFor(ts.cp)
+		price := ev.Utility(ts.cp.C.Distance(ts.cur)) - ev.Utility(ts.cp.C.Distance(a))
+		if price < 0 {
+			price = 0
+		}
+		return price, true
+	}
+}
+
+// YieldResolve settles the yield journal of forSvc: on commit the
+// degrades stand (they are ordinary history entries the epoch scan may
+// reclaim later); otherwise the steps are rolled back newest-first,
+// best-effort — an incumbent that departed meanwhile, or whose freed
+// capacity was since taken, keeps its degraded level and the ordinary
+// upgrade reclamation recovers it when slack returns. Returns the number
+// of steps actually rolled back.
+func (e *Engine) YieldResolve(now float64, forSvc string, commit bool) (reverted int) {
+	marks := e.yields[forSvc]
+	if marks == nil {
+		return 0
+	}
+	delete(e.yields, forSvc)
+	if commit {
+		return 0
+	}
+	for i := len(marks) - 1; i >= 0; i-- {
+		m := marks[i]
+		st, ok := e.sessions[m.svcID]
+		if !ok {
+			continue
+		}
+		for _, ts := range st.tasks {
+			if ts.t.ID != m.taskID {
+				continue
+			}
+			if e.revertStep(now, st, ts) {
+				reverted++
+			}
+			break
+		}
+	}
+	return reverted
+}
+
+// revertStep pops one entry of the task's degrade history like
+// upgradeStep, but without the UtilLow slack ceiling — a yield rollback
+// restores what the failed admission took, it does not wait for slack.
+// Feasibility is still enforced by the reservation resize. Deliberately
+// not counted as an Upgrade: reclamation stats measure slack recovery,
+// not un-doing an admission attempt.
+func (e *Engine) revertStep(now float64, st *state, ts *taskState) bool {
+	if len(ts.hist) == 0 || e.cl.Medium.Down(ts.node) || e.avoid[ts.node] {
+		return false
+	}
+	prev := ts.hist[len(ts.hist)-1]
+	prevDemand, err := ts.cp.DemandAt(prev)
+	if err != nil {
+		return false
+	}
+	prov := e.cl.Node(ts.node).Provider
+	if err := prov.ResizeReservation(st.svcID, ts.t.ID, prevDemand); err != nil {
+		return false
+	}
+	dist := ts.cp.C.Distance(prev)
+	st.org.ApplyAdaptation(ts.t.ID, core.Assignment3{
+		TaskID: ts.t.ID, Node: ts.node, Level: ts.cp.Ladder.Level(prev),
+		Distance: dist, CommCost: ts.comm,
+	})
+	ts.hist = ts.hist[:len(ts.hist)-1]
+	ts.cur = prev
+	st.events = append(st.events, Event{T: now, Kind: "revert", Task: ts.t.ID, Node: ts.node, Distance: dist})
+	return true
+}

@@ -1,0 +1,186 @@
+// Package admit defines the admission-control policy layer of the open
+// system: what happens to a session whose first formation attempt could
+// not assign every task. The session engine (internal/session) executes
+// the policies; this package owns the vocabulary — the policy enum, its
+// knobs, the per-run counters, and the recorded arrival trace the
+// clairvoyant oracle (baseline.Clairvoyant) replays offline.
+//
+// Three policies exist:
+//
+//   - Block: the PR-3 baseline — an incomplete first formation is torn
+//     down immediately and the session is lost. With Config nil the
+//     engine behaves byte-identically to before this layer existed;
+//     with an explicit Block config the outcome per session is the
+//     same, but the engine additionally records the arrival trace and
+//     accounts admission-time utility, so Block rows are comparable to
+//     the other policies and to the oracle bound.
+//   - Queue: a blocked session waits instead of dying — its partial
+//     coalition is dissolved (no reservation is parked), and the
+//     engine re-submits the same service every RetryEvery seconds
+//     until it admits or MaxWait expires.
+//   - Yield: the engine prices the admission via the eq. 3 utility —
+//     when the arriving session's best attainable utility exceeds the
+//     utility cost of degrading incumbents, it sheds one dep-consistent
+//     ladder step at a time from sessions on the most-loaded nodes
+//     (through the adaptation engine, which keeps the steps exactly
+//     revertible), then retries the formation once. A failed retry
+//     rolls the incumbents back.
+package admit
+
+import (
+	"fmt"
+
+	"repro/internal/task"
+)
+
+// Policy selects the admission-control behaviour for sessions whose
+// first formation attempt is incomplete.
+type Policy int
+
+const (
+	// Block tears the incomplete coalition down immediately (default).
+	Block Policy = iota
+	// Queue retries the formation until MaxWait expires.
+	Queue
+	// Yield degrades incumbents to make room, when the utility gained
+	// exceeds the utility cost, then retries once.
+	Yield
+)
+
+// String names the policy (table rows, CLI flags).
+func (p Policy) String() string {
+	switch p {
+	case Queue:
+		return "queue"
+	case Yield:
+		return "yield"
+	default:
+		return "block"
+	}
+}
+
+// ParsePolicy is String's inverse, for CLI flags.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "block":
+		return Block, nil
+	case "queue":
+		return Queue, nil
+	case "yield":
+		return Yield, nil
+	}
+	return Block, fmt.Errorf("admit: unknown policy %q (want block, queue or yield)", s)
+}
+
+// Config parameterizes the admission layer. The zero value is the Block
+// policy with default knobs.
+type Config struct {
+	// Policy selects the admission behaviour.
+	Policy Policy
+	// MaxWait (Queue) is how long after its arrival a waiting session
+	// may still retry, in simulated seconds (default 30). A session
+	// whose next retry would fall past arrival+MaxWait expires and
+	// counts as blocked.
+	MaxWait float64
+	// RetryEvery (Queue) is the retry period in simulated seconds
+	// (default 5). The session engine requires it to be at least twice
+	// its DepartGrace, so a failed attempt's releases land before the
+	// retry formation reserves again.
+	RetryEvery float64
+	// MaxQueue (Queue) caps the number of sessions waiting between
+	// retries (default 16); a session arriving at a full queue blocks
+	// immediately, like Block.
+	MaxQueue int
+	// MaxYieldSteps (Yield) caps the incumbent degrade steps one
+	// arriving session may trigger (default 8).
+	MaxYieldSteps int
+}
+
+// WithDefaults normalizes zero knobs to their defaults.
+func (c Config) WithDefaults() Config {
+	if c.MaxWait <= 0 {
+		c.MaxWait = 30
+	}
+	if c.RetryEvery <= 0 {
+		c.RetryEvery = 5
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 16
+	}
+	if c.MaxYieldSteps <= 0 {
+		c.MaxYieldSteps = 8
+	}
+	return c
+}
+
+// Validate rejects configurations no run could execute sensibly.
+func (c Config) Validate() error {
+	d := c.WithDefaults()
+	if d.Policy < Block || d.Policy > Yield {
+		return fmt.Errorf("admit: unknown policy %d", d.Policy)
+	}
+	if d.RetryEvery > d.MaxWait {
+		return fmt.Errorf("admit: RetryEvery %g exceeds MaxWait %g — no retry could ever fire", d.RetryEvery, d.MaxWait)
+	}
+	return nil
+}
+
+// Stats counts the admission layer's outcomes over one run. Event
+// counters follow the session engine's steady-state convention (only
+// post-warmup sessions count); UtilitySum deliberately does not — the
+// clairvoyant bound is computed over the full recorded arrival trace,
+// so the achieved utility it is compared against must cover the full
+// horizon too.
+type Stats struct {
+	// Queued counts sessions that entered the retry queue; Retries
+	// counts re-submissions fired (queue retries and yield re-attempts);
+	// QueueAdmits counts sessions admitted on a retry; Expired counts
+	// queued sessions whose MaxWait deadline passed (also counted as
+	// Blocked in session.Stats).
+	Queued, Retries, QueueAdmits, Expired int
+	// YieldAttempts counts arrivals that triggered incumbent
+	// degradation; YieldAdmits those admitted afterwards; YieldSteps the
+	// degrade steps committed by admitted yields; YieldReverted the
+	// steps rolled back after failed ones.
+	YieldAttempts, YieldAdmits, YieldSteps, YieldReverted int
+	// UtilitySum accumulates, over every admitted session of the whole
+	// horizon, the session's admission-time utility: the sum over its
+	// tasks of Evaluator.Utility(assigned distance). This is the
+	// "achieved" side of the optimality gap against
+	// baseline.Clairvoyant's bound.
+	UtilitySum float64
+	// DriftCost accumulates the utility cost inflicted on incumbents by
+	// committed yields (the price the Yield policy paid for UtilitySum).
+	DriftCost float64
+}
+
+// Merge folds another run's (or shard's) counters into s; all fields
+// sum, so the fold is commutative like the rest of session.Stats.
+func (s *Stats) Merge(o *Stats) {
+	s.Queued += o.Queued
+	s.Retries += o.Retries
+	s.QueueAdmits += o.QueueAdmits
+	s.Expired += o.Expired
+	s.YieldAttempts += o.YieldAttempts
+	s.YieldAdmits += o.YieldAdmits
+	s.YieldSteps += o.YieldSteps
+	s.YieldReverted += o.YieldReverted
+	s.UtilitySum += o.UtilitySum
+	s.DriftCost += o.DriftCost
+}
+
+// ArrivalRecord is one entry of the engine's recorded arrival trace:
+// everything the clairvoyant oracle needs to re-decide the session's
+// admission in hindsight. Hold is drawn at arrival time when the
+// admission layer is on — blocked and expired sessions carry a holding
+// time too, because the oracle may choose to admit them.
+type ArrivalRecord struct {
+	// Seq is the global arrival sequence number (0-based).
+	Seq int
+	// T is the arrival time; Hold the exponential holding time drawn
+	// for the session.
+	T, Hold float64
+	// Svc is the instantiated service (shared with the engine; callers
+	// must treat it as read-only).
+	Svc *task.Service
+}

@@ -1,0 +1,71 @@
+package admit
+
+import "testing"
+
+func TestPolicyStringParseRoundTrip(t *testing.T) {
+	for _, p := range []Policy{Block, Queue, Yield} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", p.String(), got, err, p)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Error("ParsePolicy accepted an unknown name")
+	}
+	// Out-of-range policies print as the safe default; only the three
+	// named values survive a round trip.
+	if s := Policy(99).String(); s != "block" {
+		t.Errorf("Policy(99).String() = %q, want the block fallback", s)
+	}
+}
+
+func TestConfigWithDefaults(t *testing.T) {
+	d := Config{}.WithDefaults()
+	want := Config{MaxWait: 30, RetryEvery: 5, MaxQueue: 16, MaxYieldSteps: 8}
+	if d != want {
+		t.Errorf("zero-value defaults = %+v, want %+v", d, want)
+	}
+	// Explicit knobs pass through untouched.
+	c := Config{Policy: Queue, MaxWait: 60, RetryEvery: 10, MaxQueue: 4, MaxYieldSteps: 2}
+	if got := c.WithDefaults(); got != c {
+		t.Errorf("explicit knobs rewritten: %+v -> %+v", c, got)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("zero config rejected: %v", err)
+	}
+	if err := (Config{Policy: Policy(7)}).Validate(); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if err := (Config{RetryEvery: 40}).Validate(); err == nil {
+		t.Error("RetryEvery > MaxWait accepted: no retry could ever fire")
+	}
+	if err := (Config{Policy: Yield, MaxYieldSteps: 3}).Validate(); err != nil {
+		t.Errorf("valid yield config rejected: %v", err)
+	}
+}
+
+func TestStatsMergeSumsEveryField(t *testing.T) {
+	a := Stats{Queued: 1, Retries: 2, QueueAdmits: 3, Expired: 4,
+		YieldAttempts: 5, YieldAdmits: 6, YieldSteps: 7, YieldReverted: 8,
+		UtilitySum: 1.5, DriftCost: 0.25}
+	b := Stats{Queued: 10, Retries: 20, QueueAdmits: 30, Expired: 40,
+		YieldAttempts: 50, YieldAdmits: 60, YieldSteps: 70, YieldReverted: 80,
+		UtilitySum: 15, DriftCost: 2.5}
+	got := a
+	got.Merge(&b)
+	want := Stats{Queued: 11, Retries: 22, QueueAdmits: 33, Expired: 44,
+		YieldAttempts: 55, YieldAdmits: 66, YieldSteps: 77, YieldReverted: 88,
+		UtilitySum: 16.5, DriftCost: 2.75}
+	if got != want {
+		t.Errorf("Merge = %+v, want %+v", got, want)
+	}
+	// Commutative, like the rest of session.Stats.
+	other := b
+	other.Merge(&a)
+	if other != want {
+		t.Errorf("Merge not commutative: %+v vs %+v", other, want)
+	}
+}

@@ -6,11 +6,13 @@ import (
 	"math/rand"
 
 	"repro/internal/adapt"
+	"repro/internal/admit"
 	"repro/internal/arrival"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/qos"
 	"repro/internal/radio"
 	"repro/internal/resource"
 	"repro/internal/task"
@@ -68,9 +70,24 @@ type Config struct {
 	// owns churn repair: exactly one layer should renegotiate a lost
 	// member (see DESIGN.md §10).
 	Adapt *adapt.Config
+	// Admission, when set, enables the admission-control policy layer
+	// (internal/admit): an incomplete first formation is handled per the
+	// configured policy — Block (the default behaviour), Queue (dissolve
+	// the partial coalition and retry until MaxWait) or Yield (degrade
+	// incumbents through the adaptation engine when the arriving
+	// session's utility gain exceeds the drift cost, then retry once;
+	// requires Adapt). A non-nil Admission also makes the engine draw
+	// holding times at arrival, record the full arrival trace (see
+	// ArrivalTrace) and account admission-time utility, so runs are
+	// comparable against baseline.Clairvoyant's hindsight bound. nil —
+	// the default everywhere — keeps the engine byte-identical to the
+	// pre-admission-layer behaviour, rng draw order included.
+	Admission *admit.Config
 	// AfterDeparture, when set, runs DepartGrace after every session
 	// teardown (departure or admission failure) with the service ID;
 	// the leak-guard tests hang their reservation-ledger detector here.
+	// With the Queue/Yield policies it runs only after a session's FINAL
+	// teardown, not between retry attempts of the same service.
 	AfterDeparture func(now float64, svcID string)
 	// Faults, when set, wires a deterministic fault injector
 	// (internal/faults) into the radio medium for the whole run and
@@ -146,6 +163,11 @@ type Stats struct {
 	// Adapt aggregates the adaptation engine's counters and per-session
 	// histories (zero when Config.Adapt is nil).
 	Adapt adapt.Stats
+	// Admit aggregates the admission-policy layer's counters (zero when
+	// Config.Admission is nil). Arrivals/Admitted/Blocked keep their
+	// invariant under every policy: a queued session that eventually
+	// admits counts Admitted, one whose deadline expires counts Blocked.
+	Admit admit.Stats
 	// SimEvents is the number of discrete events the engine processed.
 	SimEvents uint64
 	// Nodes is the population size of the neighbourhood the stats were
@@ -226,6 +248,7 @@ func (s *Stats) Merge(o *Stats) {
 	s.SimEvents += o.SimEvents
 	s.Nodes += o.Nodes
 	s.Adapt.Merge(&o.Adapt)
+	s.Admit.Merge(&o.Admit)
 }
 
 // ReconfigPerHour normalizes the reconfiguration count to simulated
@@ -253,6 +276,20 @@ type liveSession struct {
 	gen        uint64 // bumped at retire; invalidates pooled timer records
 	formed     bool   // first-formation guard (slow path uses a closure var)
 	onFormedFn func(*core.Result)
+
+	// Admission-layer state, meaningful only when Config.Admission is
+	// set. svc keeps the instantiated service across retry attempts (the
+	// same service is re-submitted); arrive/hold are the arrival instant
+	// and the arrival-time holding-time draw; attempts counts
+	// re-submissions so far; ySteps/yieldCost journal a pending Yield's
+	// purchased steps until the retried formation settles them.
+	seq       int
+	svc       *task.Service
+	arrive    float64
+	hold      float64
+	attempts  int
+	ySteps    int
+	yieldCost float64
 }
 
 // departEv is one scheduled holding-time expiry, pooled on the engine.
@@ -291,6 +328,28 @@ func runHook(x any) {
 	e.cfg.AfterDeparture(e.cl.Eng.Now(), id)
 }
 
+// retryEv is one scheduled admission re-submission (queue retry or
+// yield re-attempt), pooled on the engine. Like departEv it records the
+// slot generation at schedule time; a retry that outlives its session
+// (the drain censored it) fires into a recycled or departed slot and
+// must not touch it.
+type retryEv struct {
+	e   *Engine
+	ls  *liveSession
+	gen uint64
+}
+
+func runRetry(x any) {
+	ev := x.(*retryEv)
+	e, ls, gen := ev.e, ev.ls, ev.gen
+	ev.ls = nil
+	e.retryPool = append(e.retryPool, ev)
+	if ls.gen != gen || ls.departed {
+		return
+	}
+	e.retryFire(ls)
+}
+
 // rebootEv is one pending churn-victim reboot, pooled on the engine.
 type rebootEv struct {
 	e      *Engine
@@ -313,6 +372,17 @@ type Engine struct {
 	arriveRng, holdRng, churnRng *rand.Rand
 
 	ad *adapt.Engine
+
+	// Admission-policy layer (Config.Admission). adm is the normalized
+	// config, admOn its presence; waiting holds sessions between retry
+	// attempts in enqueue order; arrivals is the recorded trace the
+	// clairvoyant oracle replays; evals caches per-(spec, demand ref)
+	// utility evaluators for admission-time accounting.
+	adm      admit.Config
+	admOn    bool
+	waiting  []*liveSession
+	arrivals []admit.ArrivalRecord
+	evals    map[evalKey]*sessEval
 
 	seq       int
 	live      []*liveSession
@@ -348,6 +418,7 @@ type Engine struct {
 	departPool  []*departEv
 	hookPool    []*hookEv
 	rebootPool  []*rebootEv
+	retryPool   []*retryEv
 	arrivalFn   func()
 	churnFn     func()
 	sampleFn    func()
@@ -391,6 +462,21 @@ func New(cl *core.Cluster, cfg Config, seed int64) (*Engine, error) {
 	if cfg.ReconcileEvery < 0 {
 		return nil, fmt.Errorf("session: ReconcileEvery must be >= 0, got %g", cfg.ReconcileEvery)
 	}
+	var adm admit.Config
+	admOn := false
+	if cfg.Admission != nil {
+		adm = cfg.Admission.WithDefaults()
+		if err := adm.Validate(); err != nil {
+			return nil, err
+		}
+		if adm.Policy == admit.Yield && cfg.Adapt == nil {
+			return nil, fmt.Errorf("session: admission policy yield degrades incumbents through the adaptation engine; set Config.Adapt")
+		}
+		if adm.Policy == admit.Queue && adm.RetryEvery < 2*cfg.DepartGrace {
+			return nil, fmt.Errorf("session: queue RetryEvery %g must be at least twice DepartGrace %g, so a failed attempt's releases land before the retry reserves again", adm.RetryEvery, cfg.DepartGrace)
+		}
+		admOn = true
+	}
 	e := &Engine{
 		cfg:       cfg,
 		cl:        cl,
@@ -402,6 +488,11 @@ func New(cl *core.Cluster, cfg Config, seed int64) (*Engine, error) {
 		freezes:   cl.Obs.Counter(obs.Freezes),
 		reclaimed: cl.Obs.Counter(obs.Reclaimed),
 		rec:       cfg.Trace,
+		adm:       adm,
+		admOn:     admOn,
+	}
+	if admOn {
+		e.evals = make(map[evalKey]*sessEval)
 	}
 	for _, id := range cfg.Organizers {
 		if cl.Node(id) == nil {
@@ -429,6 +520,13 @@ func New(cl *core.Cluster, cfg Config, seed int64) (*Engine, error) {
 // Adapter returns the run's adaptation engine (nil without Config.Adapt),
 // for test assertions and CLI reporting.
 func (e *Engine) Adapter() *adapt.Engine { return e.ad }
+
+// ArrivalTrace returns the run's recorded arrival trace — every arrival
+// with its arrival-time holding draw — in arrival order, or nil when
+// Config.Admission is unset. Callers feed it to baseline.Clairvoyant to
+// bound the run's achieved utility in hindsight; the services are shared
+// with the engine and must be treated as read-only.
+func (e *Engine) ArrivalTrace() []admit.ArrivalRecord { return e.arrivals }
 
 // Cluster returns the cluster the engine drives, for test assertions.
 func (e *Engine) Cluster() *core.Cluster { return e.cl }
@@ -489,6 +587,14 @@ func (e *Engine) Run() (*Stats, error) {
 	e.draining = true
 	for len(e.live) > 0 {
 		e.depart(e.live[0]) // depart always removes the head: arrival order
+	}
+	// Sessions parked between admission retries are censored like
+	// formations in flight: the horizon fell before their verdict. Their
+	// pending retry timers fire into departed/recycled slots and no-op.
+	for len(e.waiting) > 0 {
+		ls := e.waiting[0]
+		e.waiting = e.waiting[1:]
+		e.censorWaiting(ls)
 	}
 	deadline := e.cfg.Horizon
 	for i := 0; e.forming > 0 && i < 64; i++ {
@@ -610,6 +716,17 @@ func (e *Engine) onArrival() {
 		ls.id, ls.node, ls.counted = svc.ID, node, counted
 		cb = ls.onFormedFn
 	}
+	if e.admOn {
+		// The holding time is drawn at arrival, not admission, so the
+		// recorded trace carries it for every session — the clairvoyant
+		// oracle may admit sessions the online policy lost. This changes
+		// the holdRng draw sequence relative to Admission == nil, which
+		// is why the admission layer is opt-in per run, never default.
+		hold := arrival.Exp(e.holdRng, e.cfg.HoldMean)
+		ls.seq, ls.svc, ls.arrive, ls.hold = seq, svc, now, hold
+		ls.attempts, ls.ySteps, ls.yieldCost = 0, 0, 0
+		e.arrivals = append(e.arrivals, admit.ArrivalRecord{Seq: seq, T: now, Hold: hold, Svc: svc})
+	}
 	e.rec.Point(now, int(node), "engine", "arrival", svc.ID)
 	org, err := e.cl.Submit(now, node, svc, e.cfg.Organizer, cb)
 	if err != nil {
@@ -621,55 +738,116 @@ func (e *Engine) onArrival() {
 	e.forming++
 }
 
-// onFormed decides admission on the first formation attempt: a session
-// is admitted only when every task was assigned; anything less blocks —
-// the partial coalition is dissolved immediately and its reservations
-// released.
+// onFormed decides admission when a formation attempt resolves. A
+// complete formation admits; an incomplete one is handled per the
+// admission policy — Block (the default, and the only behaviour when
+// Config.Admission is nil) dissolves the partial coalition immediately,
+// Queue parks the session for a retry, Yield has already been paid for
+// by the time the retried formation lands here and settles its journal.
 func (e *Engine) onFormed(ls *liveSession, r *core.Result) {
 	e.forming--
+	now := e.cl.Eng.Now()
 	if e.draining {
 		// The horizon cut this formation short: no admission verdict,
 		// just teardown so no reservation outlives Run. Uncount the
 		// arrival so the Admitted + Blocked == Arrivals invariant holds.
+		if e.admOn && ls.ySteps > 0 {
+			e.ad.YieldResolve(now, ls.id, false)
+		}
 		if ls.counted {
 			e.stats.Arrivals--
 		}
-		e.rec.Point(e.cl.Eng.Now(), int(ls.node), "engine", "censored", ls.id)
+		e.rec.Point(now, int(ls.node), "engine", "censored", ls.id)
 		e.teardown(ls, "horizon reached during formation")
 		return
 	}
 	if r.Complete() {
-		if ls.counted {
-			e.stats.Admitted++
-		}
-		e.rec.Point(e.cl.Eng.Now(), int(ls.node), "engine", "admit", ls.id)
-		e.live = append(e.live, ls)
-		if e.ad != nil {
-			if err := e.ad.Admit(e.cl.Eng.Now(), ls.node, ls.org, ls.counted); err != nil {
-				e.fail(err)
+		e.admitSession(ls)
+		return
+	}
+	if e.admOn {
+		switch e.adm.Policy {
+		case admit.Queue:
+			if e.queueFailed(ls) {
+				return
+			}
+		case admit.Yield:
+			if e.yieldFailed(ls) {
 				return
 			}
 		}
-		// PeakLive, like every other steady-state statistic, excludes
-		// the pre-warmup transient.
-		if len(e.live) > e.stats.PeakLive && e.cl.Eng.Now() >= e.cfg.Warmup {
-			e.stats.PeakLive = len(e.live)
+		if ls.ySteps > 0 {
+			// The post-yield retry still failed: roll the incumbents back.
+			n := e.ad.YieldResolve(now, ls.id, false)
+			if ls.counted {
+				e.stats.Admit.YieldReverted += n
+			}
+			e.rec.Point(now, int(ls.node), "engine", "yield.revert", ls.id)
 		}
-		hold := arrival.Exp(e.holdRng, e.cfg.HoldMean)
-		if e.cfg.SlowPath {
-			e.cl.Eng.After(hold, func() { e.depart(ls) })
-		} else {
-			ev := e.getDepartEv()
-			ev.ls, ev.gen = ls, ls.gen
-			e.cl.Eng.AfterArg(hold, runDepart, ev)
-		}
-		return
 	}
 	if ls.counted {
 		e.stats.Blocked++
 	}
-	e.rec.Point(e.cl.Eng.Now(), int(ls.node), "engine", "block", ls.id)
+	e.rec.Point(now, int(ls.node), "engine", "block", ls.id)
 	e.teardown(ls, fmt.Sprintf("admission failed: %d/%d tasks assigned", len(r.Assigned), len(r.Assigned)+len(r.Unserved)))
+}
+
+// admitSession installs a completely formed session: stats, trace,
+// adaptation registration, utility accounting, departure timer.
+func (e *Engine) admitSession(ls *liveSession) {
+	now := e.cl.Eng.Now()
+	if ls.counted {
+		e.stats.Admitted++
+	}
+	e.rec.Point(now, int(ls.node), "engine", "admit", ls.id)
+	e.live = append(e.live, ls)
+	if e.ad != nil {
+		if err := e.ad.Admit(now, ls.node, ls.org, ls.counted); err != nil {
+			e.fail(err)
+			return
+		}
+	}
+	if e.admOn {
+		e.stats.Admit.UtilitySum += e.sessionUtility(ls.org)
+		if e.adm.Policy == admit.Queue && ls.attempts > 0 {
+			if ls.counted {
+				e.stats.Admit.QueueAdmits++
+			}
+			e.rec.Point(now, int(ls.node), "engine", "queue.admit", ls.id)
+		}
+		if ls.ySteps > 0 {
+			// The yield paid off: commit the incumbents' degrades.
+			e.ad.YieldResolve(now, ls.id, true)
+			if ls.counted {
+				e.stats.Admit.YieldAdmits++
+				e.stats.Admit.YieldSteps += ls.ySteps
+				e.stats.Admit.DriftCost += ls.yieldCost
+			}
+			e.rec.Point(now, int(ls.node), "engine", "yield.admit", ls.id)
+		}
+	}
+	// PeakLive, like every other steady-state statistic, excludes
+	// the pre-warmup transient.
+	if len(e.live) > e.stats.PeakLive && now >= e.cfg.Warmup {
+		e.stats.PeakLive = len(e.live)
+	}
+	// With the admission layer on the holding time was drawn at arrival
+	// (the recorded trace needs it for every session); the default
+	// engine draws it here, at admission, preserving the historical
+	// holdRng sequence bit for bit.
+	var hold float64
+	if e.admOn {
+		hold = ls.hold
+	} else {
+		hold = arrival.Exp(e.holdRng, e.cfg.HoldMean)
+	}
+	if e.cfg.SlowPath {
+		e.cl.Eng.After(hold, func() { e.depart(ls) })
+	} else {
+		ev := e.getDepartEv()
+		ev.ls, ev.gen = ls, ls.gen
+		e.cl.Eng.AfterArg(hold, runDepart, ev)
+	}
 }
 
 // depart ends an operating session at its holding-time expiry (or at
@@ -710,9 +888,28 @@ func (e *Engine) kill(svcID string) {
 
 // teardown dissolves, retires, and aggregates a session's
 // operation-phase counters. The organizer's Dissolve is idempotent, so
-// the double-invocation paths above stay safe.
+// the double-invocation paths above stay safe. This is the FINAL
+// teardown — the departure hook fires and the slot recycles; a queued
+// retry between attempts goes through dissolveAttempt alone.
 func (e *Engine) teardown(ls *liveSession, reason string) {
 	ls.departed = true
+	if !e.dissolveAttempt(ls, reason) {
+		return
+	}
+	e.scheduleHook(ls.id)
+	if ls.slot >= 0 {
+		e.retireSlot(ls)
+	}
+}
+
+// dissolveAttempt undoes one formation attempt: deregister, forget from
+// adaptation, fold the organizer's operation counters, dissolve the
+// coalition and retire its service so every reservation releases. It
+// deliberately neither marks the session departed, nor schedules the
+// departure hook, nor recycles the slot — the Queue policy re-submits
+// the same service after a dissolveAttempt, and a hook firing between
+// attempts would race the retry's fresh reservations.
+func (e *Engine) dissolveAttempt(ls *liveSession, reason string) bool {
 	delete(e.activeSvc, ls.id)
 	if e.ad != nil {
 		e.ad.Forget(e.cl.Eng.Now(), ls.id)
@@ -722,21 +919,219 @@ func (e *Engine) teardown(ls *liveSession, reason string) {
 	ls.org.Dissolve(reason)
 	if err := e.cl.RetireService(ls.node, ls.id); err != nil {
 		e.fail(err)
+		return false
+	}
+	return true
+}
+
+// scheduleHook arms the AfterDeparture callback DepartGrace out.
+func (e *Engine) scheduleHook(id string) {
+	hook := e.cfg.AfterDeparture
+	if hook == nil {
 		return
 	}
-	if hook := e.cfg.AfterDeparture; hook != nil {
-		if e.cfg.SlowPath {
-			id := ls.id
-			e.cl.Eng.After(e.cfg.DepartGrace, func() { hook(e.cl.Eng.Now(), id) })
-		} else {
-			ev := e.getHookEv()
-			ev.id = ls.id
-			e.cl.Eng.AfterArg(e.cfg.DepartGrace, runHook, ev)
+	if e.cfg.SlowPath {
+		e.cl.Eng.After(e.cfg.DepartGrace, func() { hook(e.cl.Eng.Now(), id) })
+	} else {
+		ev := e.getHookEv()
+		ev.id = id
+		e.cl.Eng.AfterArg(e.cfg.DepartGrace, runHook, ev)
+	}
+}
+
+// queueFailed handles an incomplete formation under the Queue policy.
+// It returns false to fall through to the plain block path: queue full
+// on first failure, or the next retry would already overshoot MaxWait
+// on first failure. Otherwise the partial coalition is dissolved and
+// the session either waits for its next retry or — when its deadline
+// has passed — expires as a block.
+func (e *Engine) queueFailed(ls *liveSession) bool {
+	now := e.cl.Eng.Now()
+	retryAt := now + e.adm.RetryEvery
+	expired := retryAt > ls.arrive+e.adm.MaxWait
+	if ls.attempts == 0 {
+		if expired || len(e.waiting) >= e.adm.MaxQueue {
+			return false
+		}
+		if ls.counted {
+			e.stats.Admit.Queued++
+		}
+		e.rec.Point(now, int(ls.node), "engine", "queue", ls.id)
+	} else if expired {
+		if ls.counted {
+			e.stats.Admit.Expired++
+			e.stats.Blocked++
+		}
+		e.rec.Point(now, int(ls.node), "engine", "queue.expire", ls.id)
+		e.teardown(ls, "admission failed: queue deadline expired")
+		return true
+	}
+	if !e.dissolveAttempt(ls, "admission retry pending") {
+		return true
+	}
+	e.waiting = append(e.waiting, ls)
+	e.scheduleRetry(ls, e.adm.RetryEvery)
+	return true
+}
+
+// yieldFailed handles an incomplete formation under the Yield policy:
+// price the arriving session's best attainable utility, buy incumbent
+// degrade steps strictly cheaper than that gain, and retry the
+// formation once after DepartGrace (so this attempt's releases land
+// first). Returns false to fall through to the block path — second
+// failure, nothing to gain, or no affordable step (the retry-failure
+// rollback happens in onFormed, which knows ySteps).
+func (e *Engine) yieldFailed(ls *liveSession) bool {
+	if ls.attempts > 0 {
+		return false
+	}
+	now := e.cl.Eng.Now()
+	gain, err := e.ad.SessionBestUtility(ls.svc)
+	if err != nil {
+		e.fail(err)
+		return false
+	}
+	if gain <= 0 {
+		return false
+	}
+	steps, cost := e.ad.Yield(now, ls.id, gain, e.adm.MaxYieldSteps)
+	if steps == 0 {
+		return false
+	}
+	ls.ySteps, ls.yieldCost = steps, cost
+	if ls.counted {
+		e.stats.Admit.YieldAttempts++
+	}
+	e.rec.Point(now, int(ls.node), "engine", "yield", ls.id)
+	if !e.dissolveAttempt(ls, "admission retry after yielding incumbents") {
+		return true
+	}
+	e.waiting = append(e.waiting, ls)
+	e.scheduleRetry(ls, e.cfg.DepartGrace)
+	return true
+}
+
+// scheduleRetry arms the session's re-submission delay seconds out.
+func (e *Engine) scheduleRetry(ls *liveSession, delay float64) {
+	if e.cfg.SlowPath {
+		e.cl.Eng.After(delay, func() {
+			if !ls.departed {
+				e.retryFire(ls)
+			}
+		})
+	} else {
+		ev := e.getRetryEv()
+		ev.ls, ev.gen = ls, ls.gen
+		e.cl.Eng.AfterArg(delay, runRetry, ev)
+	}
+}
+
+// retryFire re-submits a waiting session's service. Sessions censored
+// by the drain flush never reach here (departed guard in the event).
+func (e *Engine) retryFire(ls *liveSession) {
+	for i, cur := range e.waiting {
+		if cur == ls {
+			e.waiting = append(e.waiting[:i], e.waiting[i+1:]...)
+			break
 		}
 	}
+	ls.attempts++
+	if ls.counted {
+		e.stats.Admit.Retries++
+	}
+	now := e.cl.Eng.Now()
+	var cb func(*core.Result)
+	if e.cfg.SlowPath {
+		first := true
+		cb = func(r *core.Result) {
+			if !first {
+				return
+			}
+			first = false
+			e.onFormed(ls, r)
+		}
+	} else {
+		ls.formed = false
+		cb = ls.onFormedFn
+	}
+	org, err := e.cl.Submit(now, ls.node, ls.svc, e.cfg.Organizer, cb)
+	if err != nil {
+		e.fail(fmt.Errorf("session: resubmit %s: %w", ls.id, err))
+		return
+	}
+	ls.org = org
+	e.activeSvc[ls.id] = org
+	e.forming++
+}
+
+// censorWaiting ends a session the drain caught between retry attempts:
+// its coalition is already dissolved, so only the bookkeeping half of a
+// final teardown remains. Like a censored formation, the arrival is
+// uncounted. Incumbent degrades a pending yield bought stay as ordinary
+// history entries (the run is over; nothing is admitted either way).
+func (e *Engine) censorWaiting(ls *liveSession) {
+	if e.admOn && ls.ySteps > 0 {
+		e.ad.YieldResolve(e.cl.Eng.Now(), ls.id, false)
+	}
+	if ls.counted {
+		e.stats.Arrivals--
+	}
+	e.rec.Point(e.cl.Eng.Now(), int(ls.node), "engine", "censored", ls.id)
+	ls.departed = true
+	e.scheduleHook(ls.id)
 	if ls.slot >= 0 {
 		e.retireSlot(ls)
 	}
+}
+
+// evalKey caches utility evaluators per (spec, demand reference),
+// mirroring the adaptation engine's compiled-problem cache.
+type evalKey struct {
+	spec string
+	ref  string
+}
+
+type sessEval struct {
+	req qos.Request
+	ev  *qos.Evaluator
+}
+
+// evalFor returns the cached eq. 3 evaluator for one task of svc.
+func (e *Engine) evalFor(svc *task.Service, t *task.Task) (*qos.Evaluator, error) {
+	key := evalKey{spec: svc.Spec.Name, ref: t.Ref(svc.ID)}
+	if ent, ok := e.evals[key]; ok && ent.req.Equal(&t.Request) {
+		return ent.ev, nil
+	}
+	ent := &sessEval{req: t.Request}
+	ev, err := qos.NewEvaluator(svc.Spec, &ent.req)
+	if err != nil {
+		return nil, err
+	}
+	ent.ev = ev
+	e.evals[key] = ent
+	return ev, nil
+}
+
+// sessionUtility is the admitted session's admission-time utility: the
+// sum over assigned tasks of Utility(distance) — the achieved side of
+// the clairvoyant optimality gap. Tasks whose evaluator cannot build
+// contribute 0, under-counting achieved utility, which only slackens
+// the achieved <= bound comparison in the safe direction.
+func (e *Engine) sessionUtility(org *core.Organizer) float64 {
+	svc := org.Service()
+	var u float64
+	for _, t := range svc.Tasks {
+		a, ok := org.Assignment(t.ID)
+		if !ok {
+			continue
+		}
+		ev, err := e.evalFor(svc, t)
+		if err != nil {
+			continue
+		}
+		u += ev.Utility(a.Distance)
+	}
+	return u
 }
 
 // retireSlot returns a torn-down session to the free-list. The
@@ -747,6 +1142,7 @@ func (e *Engine) retireSlot(ls *liveSession) {
 	ls.gen++
 	ls.org = nil
 	ls.id = ""
+	ls.svc = nil
 	e.freeSlots = append(e.freeSlots, ls.slot)
 }
 
@@ -768,6 +1164,15 @@ func (e *Engine) getHookEv() *hookEv {
 		return ev
 	}
 	return &hookEv{e: e}
+}
+
+func (e *Engine) getRetryEv() *retryEv {
+	if n := len(e.retryPool); n > 0 {
+		ev := e.retryPool[n-1]
+		e.retryPool = e.retryPool[:n-1]
+		return ev
+	}
+	return &retryEv{e: e}
 }
 
 func (e *Engine) getRebootEv() *rebootEv {

@@ -122,6 +122,10 @@ func All() []Experiment {
 			Claim: "coalitions reconfigure around a split and the reconciliation sweep reclaims what the cut stranded (S4)", Run: E27PartitionHeal},
 		{ID: "E28", Title: "TCP socket fabric vs simulator, with daemon crash",
 			Claim: "the protocol is deployment-independent: real sockets form the same coalition, and survive losing a daemon mid-negotiation (engineering validation)", Run: E28InteropTCP},
+		{ID: "E29", Title: "Admission policy vs clairvoyant bound across offered load",
+			Claim: "queue and yield lift admission and utility over block at every load, and no policy exceeds the clairvoyant oracle's bound on its own recorded trace (economic admission)", Run: E29AdmissionPolicies},
+		{ID: "E30", Title: "Queue vs yield under burst overload",
+			Claim: "under deep transient overload queueing rides the burst out while yielding meets it by degrading incumbents, and both stay under the clairvoyant bound (economic admission)", Run: E30QueueVsYieldBurst},
 	}
 }
 

@@ -23,6 +23,7 @@
 # runner's weak-scaling benchmark and the nil-sink flight-recorder
 # overhead benchmark; since PR 8 every snapshot can also land in the
 # append-only results store (RESULTS.jsonl) that cmd/qostrend renders.
+# BENCH_PR10.json adds the E29 admission-policy sweep.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -41,8 +42,10 @@ run_bench() { # pkg, pattern
 # (session churn) sweep, the city fabric (E20 shard sweep plus the
 # weak-scaling benchmark at 1 and 8 shards), and the E22 mid-session
 # adaptation sweep, and the sessions-per-second weak-scaling benchmark
-# (the pooled engine's throughput headline, at 1 and 8 workers).
-run_bench . 'BenchmarkFormulate$|BenchmarkFormulateOneShot$|BenchmarkFormulateExhaustive$|BenchmarkDistanceEval$|BenchmarkE1AcceptanceVsNodes$|BenchmarkE5HeuristicVsOptimal$|BenchmarkE16OptimalScaling$|BenchmarkE17OfferedLoad$|BenchmarkE20ShardScaling$|BenchmarkE22AdaptChurn$|BenchmarkCityFabric/shards=1$|BenchmarkCityFabric/shards=8$|BenchmarkSessionsPerSecond/workers=1$|BenchmarkSessionsPerSecond/workers=8$|BenchmarkSweepParallel/workers=1$|BenchmarkSweepParallel/workers=8$'
+# (the pooled engine's throughput headline, at 1 and 8 workers);
+# since PR 10 the E29 admission-policy sweep (session engine + the
+# clairvoyant bound per replication) rides along.
+run_bench . 'BenchmarkFormulate$|BenchmarkFormulateOneShot$|BenchmarkFormulateExhaustive$|BenchmarkDistanceEval$|BenchmarkE1AcceptanceVsNodes$|BenchmarkE5HeuristicVsOptimal$|BenchmarkE16OptimalScaling$|BenchmarkE17OfferedLoad$|BenchmarkE20ShardScaling$|BenchmarkE22AdaptChurn$|BenchmarkE29AdmissionPolicies$|BenchmarkCityFabric/shards=1$|BenchmarkCityFabric/shards=8$|BenchmarkSessionsPerSecond/workers=1$|BenchmarkSessionsPerSecond/workers=8$|BenchmarkSweepParallel/workers=1$|BenchmarkSweepParallel/workers=8$'
 run_bench ./internal/qos 'BenchmarkDistance$|BenchmarkDistanceCompiled$|BenchmarkReward$|BenchmarkRewardCompiled$|BenchmarkBuildLadder$'
 run_bench ./internal/baseline 'BenchmarkOptimal$|BenchmarkOptimalExhaustive$|BenchmarkOptimalLarge$'
 run_bench ./internal/trace 'BenchmarkRecorderNil$|BenchmarkRecorderBufferPoint$'

@@ -100,4 +100,27 @@ END {
   exit status
 }
 ' "$baseline" "$current"
+
+# Admission-policy gate (PR 10): a quick E29 run lands in a throwaway
+# results store and every row's optimality-gap column must sit in
+# [0, 1]. gap > 1 cannot happen by construction; what this really pins
+# is that the gap is present, finite, and that no policy's achieved
+# utility ever exceeds the clairvoyant bound (which would read as a
+# negative gap before clamping — see xp.optGap — and as a broken bound
+# in the fuzz harness).
+admit_store="$(mktemp)"
+go run ./cmd/qosbench -quick -run E29 -store "$admit_store" >/dev/null
+gaps="$(grep '"name":"E29/' "$admit_store" | grep -o '"gap":[0-9.eE+-]*' | cut -d: -f2 || true)"
+rm -f "$admit_store"
+if [ -z "$gaps" ]; then
+  echo "benchgate: E29 store carries no gap column" >&2
+  exit 1
+fi
+for g in $gaps; do
+  if ! awk -v g="$g" 'BEGIN { exit !(g >= 0 && g <= 1.0) }'; then
+    echo "benchgate: E29 optimality gap $g outside [0, 1]" >&2
+    exit 1
+  fi
+done
+echo "benchgate: E29 optimality gaps within [0, 1]: $(echo $gaps | tr '\n' ' ')" >&2
 echo "benchgate: PASS (threshold ${threshold}%)" >&2

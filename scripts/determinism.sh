@@ -11,6 +11,9 @@
 #   E25-E27  the chaos experiments: the fault injector and the
 #            reliability layer draw only from private seeded rngs, so
 #            faulted tables pin like clean ones (PR 7)
+#   E29-E30  the admission-policy layer: queue retry timers and yield
+#            journals must admit/expire in the same order at any width
+#            and on either session loop (PR 10)
 #
 # Since PR 6 the session engine has two implementations — the pooled
 # fast path (default) and the retained -slowpath reference loop — so
@@ -19,7 +22,7 @@
 #   parallel 1 vs parallel 8      on the pooled fast path
 #   fast path vs -slowpath        at parallel 8 (the equivalence gate)
 #
-# Usage: scripts/determinism.sh [EXPERIMENT...]   (default: E1 E17 E20 E22-E27)
+# Usage: scripts/determinism.sh [EXPERIMENT...]   (default: E1 E17 E20 E22-E27 E29-E30)
 #
 # Only wall-clock lines ("elapsed") may differ between runs; any other
 # byte is a determinism regression in a worker pool, an accumulator, or
@@ -37,7 +40,7 @@ cd "$(dirname "$0")/.."
 
 exps=("$@")
 if [ "${#exps[@]}" -eq 0 ]; then
-  exps=(E1 E17 E20 E22 E23 E24 E25 E26 E27)
+  exps=(E1 E17 E20 E22 E23 E24 E25 E26 E27 E29 E30)
 fi
 
 bin="$(mktemp -d)/qosbench"
